@@ -1,0 +1,108 @@
+"""Ablation A3 (§3.6): UDP idle timeouts, keep-alives, on-demand re-punch.
+
+The paper: NATs drop idle UDP translation state ("some NATs have timeouts
+as short as 20 seconds"); applications must either send keep-alives more
+often than the NAT timeout or detect dead sessions and re-punch on demand.
+"""
+
+from repro.core.udp_punch import PunchConfig
+from repro.nat import behavior as B
+from repro.scenarios import build_two_nats
+
+
+def _session_survival(seed, nat_timeout, keepalive_interval, observe_for=120.0):
+    """Establish a punched session, leave it idle except for keepalives from
+    A (B stays passive: per-session timers at B's NAT only refresh on B's
+    outbound), then check whether data still flows A -> B."""
+    behavior = B.WELL_BEHAVED.but(udp_timeout=nat_timeout)
+    sc = build_two_nats(seed=seed, behavior_a=behavior, behavior_b=behavior)
+    config = PunchConfig(keepalive_interval=keepalive_interval, broken_after_missed=3)
+    for c in sc.clients.values():
+        c.punch_config = config
+        c.start_server_keepalives(interval=min(keepalive_interval, nat_timeout) / 2)
+    sc.register_all_udp()
+    result = {}
+    sc.clients["B"].on_peer_session = lambda s: result.setdefault("b", s)
+    sc.clients["A"].connect_udp(2, on_session=lambda s: result.setdefault("a", s),
+                                config=config)
+    sc.wait_for(lambda: "a" in result and "b" in result, 20.0)
+    # B is a pure receiver: only A's keepalives can refresh the NAT state.
+    # (If both sides keepalive on the same cadence they phase-lock and keep
+    # each other's entries alive even past the timeout.)
+    result["b"]._keepalive_timer.cancel()
+    sc.run_for(observe_for)
+    got = []
+    if result["b"].alive:
+        result["b"].on_data = got.append
+    if result["a"].alive:
+        result["a"].send(b"probe")
+    sc.run_for(3.0)
+    return bool(got), result["a"]
+
+
+def test_keepalives_beat_nat_timeout(benchmark):
+    """keepalive < NAT timeout: the hole stays open indefinitely."""
+    survived, session = benchmark(_session_survival, seed=31, nat_timeout=20.0,
+                                  keepalive_interval=8.0)
+    assert survived
+    benchmark.extra_info["keepalives_sent"] = session.keepalives_sent
+
+
+def test_short_nat_timeout_kills_idle_session(benchmark):
+    """keepalive > NAT timeout: the per-session state dies (§3.6)."""
+    survived, session = benchmark(_session_survival, seed=32, nat_timeout=20.0,
+                                  keepalive_interval=45.0)
+    assert not survived
+    benchmark.extra_info["session_broken"] = session.broken or not session.alive
+
+
+def test_keepalive_interval_sweep():
+    """The crossover sits at the NAT timeout, as §3.6 implies."""
+    outcomes = {}
+    for interval in (5.0, 10.0, 15.0, 30.0, 45.0):
+        survived, _ = _session_survival(seed=33, nat_timeout=20.0,
+                                        keepalive_interval=interval)
+        outcomes[interval] = survived
+    assert outcomes[5.0] and outcomes[10.0] and outcomes[15.0]
+    assert not outcomes[30.0] and not outcomes[45.0]
+
+
+def test_on_demand_repunch_restores_connectivity(benchmark):
+    """§3.6's alternative to keep-alives: detect the dead session, re-run
+    the hole punching procedure, carry on."""
+
+    def measure():
+        behavior = B.WELL_BEHAVED.but(udp_timeout=10.0)
+        sc = build_two_nats(seed=34, behavior_a=behavior, behavior_b=behavior)
+        config = PunchConfig(keepalive_interval=30.0, broken_after_missed=2,
+                             timeout=10.0)
+        for c in sc.clients.values():
+            c.punch_config = config
+            c.start_server_keepalives(interval=4.0)
+        sc.register_all_udp()
+        first = {}
+        sc.clients["B"].on_peer_session = lambda s: first.setdefault("b", s)
+        sc.clients["A"].connect_udp(2, on_session=lambda s: first.setdefault("a", s),
+                                    config=config)
+        sc.wait_for(lambda: "a" in first and "b" in first, 20.0)
+        first["b"]._keepalive_timer.cancel()  # B goes idle
+        repunched = {}
+
+        def on_broken():
+            sc.clients["A"].connect_udp(
+                2, on_session=lambda s: repunched.setdefault("a", s), config=config
+            )
+
+        first["a"].on_broken = on_broken
+        fresh_b = {}
+        sc.clients["B"].on_peer_session = lambda s: fresh_b.setdefault("b", s)
+        sc.wait_for(lambda: "a" in repunched and "b" in fresh_b, 400.0)
+        got = []
+        fresh_b["b"].on_data = got.append
+        repunched["a"].send(b"recovered")
+        sc.run_for(3.0)
+        return got == [b"recovered"], sc.scheduler.now
+
+    recovered, virtual_time = benchmark(measure)
+    assert recovered
+    benchmark.extra_info["virtual_time_to_recover_s"] = round(virtual_time, 1)

@@ -1,0 +1,131 @@
+"""Ablation A4 (§5.2): how a NAT's unsolicited-SYN policy affects TCP
+hole punching.
+
+The paper: silent dropping is ideal; active rejection (RST/ICMP) is "not
+necessarily fatal, as long as the applications re-try ... but the resulting
+transient errors can make hole punching take longer."
+"""
+
+import pytest
+
+from repro.nat import behavior as B
+from repro.nat.policy import TcpRefusalPolicy
+from repro.scenarios import build_two_nats
+
+
+def _tcp_punch_time(seed, behavior):
+    sc = build_two_nats(seed=seed, behavior_a=behavior, behavior_b=behavior)
+    sc.register_all_tcp()
+    result = {}
+    sc.clients["B"].on_peer_stream = lambda s: result.setdefault("b", s)
+    started = sc.scheduler.now
+    sc.clients["A"].connect_tcp(
+        2,
+        on_stream=lambda s: result.setdefault("a", s),
+        on_failure=lambda e: result.setdefault("fail", e),
+    )
+    sc.scheduler.run_while(
+        lambda: not ("a" in result or "fail" in result), sc.scheduler.now + 60.0
+    )
+    elapsed = sc.scheduler.now - started
+    return ("a" in result), elapsed
+
+
+def test_drop_nats_punch_fast(benchmark):
+    ok, elapsed = benchmark(_tcp_punch_time, seed=41, behavior=B.WELL_BEHAVED)
+    assert ok
+    assert elapsed < 1.0
+    benchmark.extra_info["virtual_elapsed_s"] = round(elapsed, 3)
+
+
+def test_rst_nats_punch_slower_but_succeed(benchmark):
+    ok, elapsed = benchmark(_tcp_punch_time, seed=41, behavior=B.RST_SENDER)
+    assert ok  # §5.2: not fatal
+    benchmark.extra_info["virtual_elapsed_s"] = round(elapsed, 3)
+
+
+def test_icmp_nats_punch_succeed(benchmark):
+    ok, elapsed = benchmark(_tcp_punch_time, seed=41, behavior=B.ICMP_SENDER)
+    assert ok
+    benchmark.extra_info["virtual_elapsed_s"] = round(elapsed, 3)
+
+
+def test_full_puncher_is_robust_to_refusal_policy():
+    """Reproduction finding: a §4.2-faithful implementation (listen while
+    connecting, retry on errors) is latency-identical across drop/RST/ICMP —
+    the first SYN opens the sender's hole regardless of how the far NAT
+    refuses it, and the peer's SYN then lands on the listen socket.  §5.2's
+    "transient errors can make hole punching take longer" bites only
+    degraded implementations (see the connect-only experiment below)."""
+    results = {}
+    for tag, behavior in [("drop", B.WELL_BEHAVED), ("rst", B.RST_SENDER),
+                          ("icmp", B.ICMP_SENDER)]:
+        ok, elapsed = _tcp_punch_time(seed=42, behavior=behavior)
+        assert ok, tag
+        results[tag] = elapsed
+    assert results["drop"] <= results["rst"] + 1e-9
+    assert results["drop"] <= results["icmp"] + 1e-9
+
+
+def _connect_only_punch(seed, behavior, skew=0.9, deadline=30.0):
+    """A degraded puncher: raw crossed connect() attempts with 1 s retry and
+    NO listen socket (the style §4.5 attributes to pre-simultaneous-open
+    stacks).  B starts *skew* seconds late."""
+    from repro.netsim.addresses import Endpoint
+    from repro.scenarios import build_two_nats
+
+    sc = build_two_nats(seed=seed, behavior_a=behavior, behavior_b=behavior)
+    hosts = {"A": sc.hosts["A"], "B": sc.hosts["B"]}
+    # Each side's first SYN allocates its NAT's first sequential port
+    # (62000), which is exactly what the peer targets.
+    targets = {"A": Endpoint("138.76.29.7", 62000), "B": Endpoint("155.99.25.11", 62000)}
+    done = {}
+
+    def attempt(label):
+        if label in done or sc.scheduler.now > deadline:
+            return
+        host = hosts[label]
+
+        def on_error(err, label=label):
+            sc.scheduler.call_later(1.0, attempt, label)
+
+        try:
+            host.stack.tcp.connect(
+                targets[label],
+                local_port=4321,
+                reuse=True,
+                on_connected=lambda c, label=label: done.setdefault(label, sc.scheduler.now),
+                on_error=on_error,
+            )
+        except Exception:
+            sc.scheduler.call_later(1.0, attempt, label)
+
+    attempt("A")
+    sc.scheduler.call_later(skew, attempt, "B")
+    sc.scheduler.run_while(lambda: len(done) < 2, deadline)
+    return len(done) == 2, sc.scheduler.now
+
+
+def test_connect_only_punch_drop_vs_rst():
+    """Without a listen socket, silent-drop NATs still converge (the
+    SYN_SENT sockets meet in a simultaneous open), while RST NATs make each
+    stray SYN kill the other side's attempt — slower or outright failure."""
+    ok_drop, t_drop = _connect_only_punch(seed=44, behavior=B.WELL_BEHAVED)
+    assert ok_drop
+    ok_rst, t_rst = _connect_only_punch(seed=44, behavior=B.RST_SENDER)
+    assert (not ok_rst) or t_rst > t_drop
+
+
+def test_mixed_policies_still_work():
+    """One drop side + one RST side: the retry loop still converges."""
+    sc = build_two_nats(seed=43, behavior_a=B.WELL_BEHAVED, behavior_b=B.RST_SENDER)
+    sc.register_all_tcp()
+    result = {}
+    sc.clients["B"].on_peer_stream = lambda s: result.setdefault("b", s)
+    sc.clients["A"].connect_tcp(2, on_stream=lambda s: result.setdefault("a", s))
+    sc.wait_for(lambda: "a" in result and "b" in result, 60.0)
+    got = []
+    result["b"].on_data = got.append
+    result["a"].send(b"mixed")
+    sc.run_for(2.0)
+    assert got == [b"mixed"]

@@ -1,0 +1,74 @@
+"""Ablation A1 (§4.5): parallel vs sequential TCP hole punching.
+
+The paper's claims: the parallel procedure "typically completes as soon as
+both clients make their outgoing connect() attempts" and lets each client
+keep one connection to S; the sequential procedure is slower (it serialises
+a doomed connect + a signalling round-trip) and consumes both clients'
+connections to S.
+"""
+
+from repro.core.tcp_sequential import SequentialConfig
+from repro.scenarios import build_two_nats
+
+
+def _parallel(seed=11):
+    sc = build_two_nats(seed=seed)
+    sc.register_all_tcp()
+    result = {}
+    sc.clients["B"].on_peer_stream = lambda s: result.setdefault("b", s)
+    started = sc.scheduler.now
+    sc.clients["A"].connect_tcp(2, on_stream=lambda s: result.setdefault("a", s))
+    sc.wait_for(lambda: "a" in result, 60.0)
+    elapsed = sc.scheduler.now - started
+    reconnects = sum(c.control_reconnects for c in sc.clients.values())
+    return elapsed, reconnects
+
+
+def _sequential(seed=11, punch_delay=0.6):
+    sc = build_two_nats(seed=seed)
+    for c in sc.clients.values():
+        c.sequential_config = SequentialConfig(punch_delay=punch_delay)
+    sc.register_all_tcp()
+    result = {}
+    sc.clients["B"].on_peer_stream = lambda s: result.setdefault("b", s)
+    started = sc.scheduler.now
+    sc.clients["A"].connect_tcp_sequential(2, on_stream=lambda s: result.setdefault("a", s))
+    sc.wait_for(lambda: "a" in result, 60.0)
+    elapsed = sc.scheduler.now - started
+    sc.run_for(2.0)  # let the control-connection consumption settle
+    reconnects = sum(c.control_reconnects for c in sc.clients.values())
+    return elapsed, reconnects
+
+
+def test_parallel_punch_latency(benchmark):
+    elapsed, reconnects = benchmark(_parallel)
+    assert reconnects == 0  # S connections retained and reusable (§4.5)
+    benchmark.extra_info["virtual_elapsed_s"] = round(elapsed, 3)
+    benchmark.extra_info["control_reconnects"] = reconnects
+
+
+def test_sequential_punch_latency(benchmark):
+    elapsed, reconnects = benchmark(_sequential)
+    assert reconnects == 2  # both clients' connections to S consumed
+    benchmark.extra_info["virtual_elapsed_s"] = round(elapsed, 3)
+    benchmark.extra_info["control_reconnects"] = reconnects
+
+
+def test_parallel_beats_sequential():
+    """The crossover claim: parallel completes in less virtual time."""
+    parallel_elapsed, _ = _parallel(seed=12)
+    sequential_elapsed, _ = _sequential(seed=12)
+    assert parallel_elapsed < sequential_elapsed
+    # The gap is dominated by the §4.5 punch_delay B must wait out.
+    assert sequential_elapsed - parallel_elapsed > 0.3
+
+
+def test_sequential_delay_sweep():
+    """§4.5: 'too much delay increases the total time required': the
+    completion time grows with punch_delay."""
+    times = []
+    for delay in (0.2, 0.6, 1.2):
+        elapsed, _ = _sequential(seed=13, punch_delay=delay)
+        times.append(elapsed)
+    assert times == sorted(times)
+    assert times[-1] - times[0] > 0.5

@@ -1,0 +1,89 @@
+"""Ablation A2 (§5.1): symmetric NATs and port prediction.
+
+The paper: hole punching "fails to provide connectivity" over symmetric
+NATs, but prediction variants "can be made to work much of the time" when
+port allocation is predictable — and amount to "chasing a moving target"
+when it is not.
+"""
+
+import pytest
+
+from repro.core.udp_punch import PunchConfig
+from repro.nat import behavior as B
+from repro.scenarios import build_two_nats
+
+
+def _punch_with(seed, behavior_b, predict_ports, extra_sessions=0):
+    sc = build_two_nats(seed=seed, behavior_a=B.WELL_BEHAVED, behavior_b=behavior_b)
+    config = PunchConfig(predict_ports=predict_ports, timeout=8.0)
+    for c in sc.clients.values():
+        c.punch_config = config
+    sc.register_all_udp()
+    # Optional interference: other traffic from B's host burns predicted
+    # ports ("another client behind the same NAT might initiate an unrelated
+    # session at the wrong time", §5.1).
+    for i in range(extra_sessions):
+        sock = sc.hosts["B"].stack.udp.socket(0)
+        sock.sendto(b"noise", sc.server.endpoint)
+    result = {}
+    sc.clients["A"].connect_udp(
+        2,
+        on_session=lambda s: result.setdefault("ok", s),
+        on_failure=lambda e: result.setdefault("fail", e),
+        config=config,
+    )
+    sc.scheduler.run_while(lambda: not result, sc.scheduler.now + 20.0)
+    return "ok" in result
+
+
+def test_baseline_symmetric_fails(benchmark):
+    ok = benchmark(_punch_with, seed=21, behavior_b=B.SYMMETRIC_PREDICTABLE,
+                   predict_ports=0)
+    assert not ok
+
+
+def test_prediction_beats_sequential_allocator(benchmark):
+    ok = benchmark(_punch_with, seed=22, behavior_b=B.SYMMETRIC_PREDICTABLE,
+                   predict_ports=3)
+    assert ok
+
+
+def test_prediction_fails_against_random_allocator(benchmark):
+    ok = benchmark(_punch_with, seed=23, behavior_b=B.SYMMETRIC_RANDOM,
+                   predict_ports=3)
+    assert not ok
+
+
+def test_prediction_success_rate_shape():
+    """Sweep: success requires prediction AND a predictable allocator; the
+    §5.1 'moving target' interference lowers but need not zero the rate."""
+    outcomes = {}
+    for tag, behavior, predict in [
+        ("none", B.SYMMETRIC_PREDICTABLE, 0),
+        ("predict", B.SYMMETRIC_PREDICTABLE, 3),
+        ("predict-random", B.SYMMETRIC_RANDOM, 3),
+    ]:
+        wins = sum(
+            _punch_with(seed=30 + i, behavior_b=behavior, predict_ports=predict)
+            for i in range(5)
+        )
+        outcomes[tag] = wins / 5
+    assert outcomes["none"] == 0.0
+    assert outcomes["predict"] >= 0.8
+    assert outcomes["predict-random"] <= 0.2
+    assert outcomes["predict"] > outcomes["predict-random"]
+
+
+def test_interference_makes_prediction_unreliable():
+    """Unrelated sessions racing for the predicted ports reduce success —
+    prediction 'does not represent a robust long-term solution' (§5.1)."""
+    clean = sum(
+        _punch_with(seed=40 + i, behavior_b=B.SYMMETRIC_PREDICTABLE, predict_ports=1)
+        for i in range(4)
+    )
+    noisy = sum(
+        _punch_with(seed=40 + i, behavior_b=B.SYMMETRIC_PREDICTABLE, predict_ports=1,
+                    extra_sessions=3)
+        for i in range(4)
+    )
+    assert clean > noisy

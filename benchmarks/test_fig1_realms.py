@@ -1,0 +1,13 @@
+"""Figure 1: the de-facto address architecture's reachability matrix."""
+
+from repro.scenarios.figures import run_figure1
+
+
+def test_figure1_reachability(benchmark):
+    result = benchmark(run_figure1, seed=1)
+    assert result.success
+    reach = result.metrics["reachability"]
+    assert reach["private->public"] is True
+    assert reach["private->private"] is False
+    assert reach["public->nat-public"] is False
+    benchmark.extra_info["reachability"] = reach

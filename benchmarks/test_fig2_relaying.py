@@ -1,0 +1,81 @@
+"""Figure 2: relaying via S — works everywhere, costs latency and server
+bandwidth (§2.2)."""
+
+from repro.nat import behavior as B
+from repro.scenarios import build_two_nats
+from repro.scenarios.figures import run_figure2
+
+
+def test_figure2_relay_vs_direct(benchmark):
+    result = benchmark(run_figure2, seed=2, messages=20)
+    assert result.success
+    # Shape: the relayed path is strictly slower than the punched path and
+    # the server carried every byte twice (in and out counted once here).
+    assert result.metrics["relay_overhead_x"] > 1.4
+    assert result.metrics["server_relayed_bytes"] >= 20 * 200
+    benchmark.extra_info.update(result.metrics)
+
+
+def test_figure2_relay_halves_bottleneck_throughput(benchmark):
+    """§2.2's bandwidth cost, measured: every relayed byte crosses the
+    public core twice (client->S, S->client), so on a bandwidth-limited
+    core a bulk transfer takes ~2x as long via S as via a punched hole."""
+    from repro.netsim.link import LinkProfile
+
+    core = LinkProfile(latency=0.005, bandwidth_bps=800_000)  # 100 kB/s
+    chunk, chunks = bytes(970), 50  # ~50 kB of payload
+
+    def transfer(via_relay: bool) -> float:
+        sc = build_two_nats(seed=9, backbone_profile=core)
+        sc.register_all_udp()
+        a, b = sc.clients["A"], sc.clients["B"]
+        got = []
+        start = {}
+        if via_relay:
+            b.on_relay_session = lambda s: setattr(s, "on_data", lambda d: got.append(d))
+            channel = a.open_relay(2)
+            start["t"] = sc.scheduler.now
+            for _ in range(chunks):
+                channel.send(chunk)
+        else:
+            sessions = {}
+            b.on_peer_session = lambda s: sessions.setdefault("b", s)
+            a.connect_udp(2, on_session=lambda s: sessions.setdefault("a", s))
+            sc.wait_for(lambda: "a" in sessions and "b" in sessions, 30.0)
+            sessions["b"].on_data = lambda d: got.append(d)
+            start["t"] = sc.scheduler.now
+            for _ in range(chunks):
+                sessions["a"].send(chunk)
+        sc.wait_for(lambda: len(got) >= chunks, 120.0)
+        return sc.scheduler.now - start["t"]
+
+    def measure():
+        return transfer(via_relay=True), transfer(via_relay=False)
+
+    relay_time, direct_time = benchmark(measure)
+    assert relay_time > 1.6 * direct_time
+    benchmark.extra_info["relay_transfer_s"] = round(relay_time, 3)
+    benchmark.extra_info["direct_transfer_s"] = round(direct_time, 3)
+    benchmark.extra_info["slowdown_x"] = round(relay_time / direct_time, 2)
+
+
+def test_figure2_relay_works_where_punching_cannot(benchmark):
+    """Relaying is the universal fallback: it succeeds behind symmetric
+    NATs that defeat hole punching."""
+
+    def measure():
+        sc = build_two_nats(seed=3, behavior_a=B.SYMMETRIC_RANDOM,
+                            behavior_b=B.SYMMETRIC_RANDOM)
+        sc.register_all_udp()
+        got = []
+        sc.clients["B"].on_relay_session = lambda s: setattr(s, "on_data", got.append)
+        relay = sc.clients["A"].open_relay(2)
+        for i in range(10):
+            relay.send(f"msg{i}".encode())
+        sc.run_for(5.0)
+        return len(got), sc.server.relayed_bytes
+
+    delivered, server_bytes = benchmark(measure)
+    assert delivered == 10
+    benchmark.extra_info["delivered"] = delivered
+    benchmark.extra_info["server_bytes"] = server_bytes

@@ -1,0 +1,12 @@
+"""Figure 3: connection reversal (§2.3)."""
+
+from repro.scenarios.figures import run_figure3
+
+
+def test_figure3_reversal(benchmark):
+    result = benchmark(run_figure3, seed=3)
+    assert result.success
+    assert result.metrics["direct_attempt"] == "blocked"
+    # Reversal completes in a handful of RTTs of virtual time.
+    assert result.metrics["reversal_elapsed_s"] < 1.0
+    benchmark.extra_info.update(result.metrics)

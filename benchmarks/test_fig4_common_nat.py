@@ -1,0 +1,22 @@
+"""Figure 4: UDP hole punching with both peers behind one NAT (§3.3)."""
+
+from repro.nat.behavior import HAIRPIN_CAPABLE
+from repro.scenarios.figures import run_figure4
+
+
+def test_figure4_private_route_wins(benchmark):
+    result = benchmark(run_figure4, seed=4)
+    assert result.success
+    assert result.metrics["used_private_route"] is True
+    benchmark.extra_info.update(
+        {k: str(v) for k, v in result.metrics.items()}
+    )
+
+
+def test_figure4_private_still_wins_with_hairpin_available(benchmark):
+    """§3.3: even when the NAT hairpins, the direct private route is faster
+    and wins the lock-in race."""
+    result = benchmark(run_figure4, seed=5, behavior=HAIRPIN_CAPABLE)
+    assert result.success
+    assert result.metrics["used_private_route"] is True
+    benchmark.extra_info["locked"] = result.metrics["locked_endpoint"]

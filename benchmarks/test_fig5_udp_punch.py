@@ -1,0 +1,26 @@
+"""Figure 5: the canonical different-NATs UDP hole punch (§3.4)."""
+
+from repro.nat import behavior as B
+from repro.scenarios.figures import run_figure5
+
+
+def test_figure5_canonical_punch(benchmark):
+    result = benchmark(run_figure5, seed=5)
+    assert result.success
+    # The paper's exact endpoints: A at 155.99.25.11:62000, B at
+    # 138.76.29.7:31000, session carried on the public endpoints.
+    assert result.metrics["a_public"] == "155.99.25.11:62000"
+    assert result.metrics["b_public"] == "138.76.29.7:31000"
+    assert result.metrics["locked_matches_paper"] is True
+    assert result.metrics["elapsed_s"] < 1.0
+    benchmark.extra_info.update({k: str(v) for k, v in result.metrics.items()})
+
+
+def test_figure5_fails_on_symmetric(benchmark):
+    """§5.1: the same procedure fails when a NAT is symmetric."""
+    result = benchmark(
+        run_figure5, seed=6,
+        behavior_a=B.SYMMETRIC_RANDOM, behavior_b=B.SYMMETRIC_RANDOM,
+    )
+    assert not result.success
+    benchmark.extra_info["locked"] = str(result.metrics["locked_endpoint"])

@@ -1,0 +1,19 @@
+"""Figure 6: multi-level NAT — hairpin translation decides the outcome (§3.5)."""
+
+from repro.scenarios.figures import run_figure6
+
+
+def test_figure6_with_hairpin(benchmark):
+    result = benchmark(run_figure6, seed=6, hairpin=True)
+    assert result.success
+    assert result.metrics["punch_succeeded"] is True
+    assert result.metrics["hairpin_translations"] > 0
+    benchmark.extra_info.update({k: str(v) for k, v in result.metrics.items()})
+
+
+def test_figure6_without_hairpin(benchmark):
+    result = benchmark(run_figure6, seed=6, hairpin=False)
+    assert result.success  # success == "failed as the paper predicts"
+    assert result.metrics["punch_succeeded"] is False
+    assert result.metrics["hairpin_refused"] > 0
+    benchmark.extra_info.update({k: str(v) for k, v in result.metrics.items()})

@@ -1,0 +1,30 @@
+"""Figure 7: sockets versus ports during TCP hole punching (§4.1-§4.3)."""
+
+import pytest
+
+from repro.scenarios.figures import run_figure7
+from repro.transport.tcp import TcpStyle
+
+
+@pytest.mark.parametrize(
+    "style_a,style_b,expected_a,expected_b",
+    [
+        (TcpStyle.BSD, TcpStyle.BSD, "connect", "connect"),
+        (TcpStyle.BSD, TcpStyle.LISTEN_PREFERRED, "connect", "accept"),
+        (TcpStyle.LISTEN_PREFERRED, TcpStyle.LISTEN_PREFERRED, "accept", "accept"),
+    ],
+    ids=["bsd-bsd", "bsd-lp", "lp-lp"],
+)
+def test_figure7_socket_census_and_origins(benchmark, style_a, style_b, expected_a, expected_b):
+    result = benchmark(run_figure7, seed=7, style_a=style_a, style_b=style_b)
+    assert result.success
+    # §4.3: stream delivery path depends on the OS behaviour.
+    assert result.metrics["a_origin"] == expected_a
+    assert result.metrics["b_origin"] == expected_b
+    # Figure 7's census: one local port carries the listener, the control
+    # connection to S, and the outgoing connection attempts simultaneously.
+    census = result.metrics["socket_census_mid_punch"]
+    assert census["A"]["listeners"] == 1
+    assert census["A"]["connections"] >= 3  # control + 2 punching connects
+    benchmark.extra_info["census"] = census
+    benchmark.extra_info["elapsed_s"] = result.metrics["elapsed_s"]

@@ -1,0 +1,26 @@
+"""Figure 8: the NAT Check test method, against every behaviour preset."""
+
+import pytest
+
+from repro.nat import behavior as B
+from repro.scenarios.figures import run_figure8
+
+PRESETS = [
+    ("well-behaved", B.WELL_BEHAVED),
+    ("full-cone", B.FULL_CONE),
+    ("symmetric", B.SYMMETRIC),
+    ("symmetric-random", B.SYMMETRIC_RANDOM),
+    ("rst-sender", B.RST_SENDER),
+    ("icmp-sender", B.ICMP_SENDER),
+    ("hairpin", B.HAIRPIN_CAPABLE),
+    ("unfiltered", B.UNFILTERED),
+    ("short-timeout", B.SHORT_TIMEOUT),
+]
+
+
+@pytest.mark.parametrize("name,behavior", PRESETS, ids=[p[0] for p in PRESETS])
+def test_figure8_classification_matches_ground_truth(benchmark, name, behavior):
+    result = benchmark(run_figure8, seed=8, behavior=behavior)
+    assert result.success, result.metrics
+    benchmark.extra_info["report"] = result.metrics["report"]
+    benchmark.extra_info["virtual_seconds"] = result.metrics["elapsed_virtual_s"]

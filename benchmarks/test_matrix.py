@@ -1,0 +1,120 @@
+"""NAT-pair compatibility matrix: punch success across behaviour pairs.
+
+The paper's §6.4 points to the STUN/STUNT studies that "provide more
+information on each NAT by testing a wider variety of behaviors
+individually".  This experiment is that style of evaluation, run on the
+simulator: for every ordered pair of NAT behaviour presets, attempt a UDP
+and a TCP hole punch and record the outcome.  The asserted shape is the
+paper's §5: punching succeeds iff both translators are consistent
+(per-protocol), with active TCP rejection tolerated thanks to retries.
+"""
+
+import pytest
+
+from repro.core.tcp_punch import TcpPunchConfig
+from repro.core.udp_punch import PunchConfig
+from repro.nat import behavior as B
+from repro.scenarios import build_two_nats
+
+PRESETS = [
+    ("cone", B.WELL_BEHAVED),
+    ("full-cone", B.FULL_CONE),
+    ("rst", B.RST_SENDER),
+    ("sym-seq", B.SYMMETRIC_PREDICTABLE),
+    ("sym-rand", B.SYMMETRIC_RANDOM),
+]
+
+
+def _udp_punch(behavior_a, behavior_b, seed, predict=0):
+    sc = build_two_nats(seed=seed, behavior_a=behavior_a, behavior_b=behavior_b)
+    config = PunchConfig(timeout=6.0, predict_ports=predict)
+    for c in sc.clients.values():
+        c.punch_config = config
+    sc.register_all_udp()
+    result = {}
+    sc.clients["A"].connect_udp(2, on_session=lambda s: result.setdefault("ok", s),
+                                on_failure=lambda e: result.setdefault("fail", e),
+                                config=config)
+    sc.scheduler.run_while(lambda: not result, sc.scheduler.now + 15.0)
+    return "ok" in result
+
+
+def _tcp_punch(behavior_a, behavior_b, seed):
+    sc = build_two_nats(seed=seed, behavior_a=behavior_a, behavior_b=behavior_b)
+    sc.register_all_tcp()
+    result = {}
+    sc.clients["B"].on_peer_stream = lambda s: result.setdefault("b", s)
+    sc.clients["A"].connect_tcp(2, on_stream=lambda s: result.setdefault("ok", s),
+                                on_failure=lambda e: result.setdefault("fail", e),
+                                config=TcpPunchConfig(timeout=8.0))
+    sc.scheduler.run_while(lambda: not ("ok" in result or "fail" in result),
+                           sc.scheduler.now + 20.0)
+    return "ok" in result
+
+
+def _expected(tag_a, tag_b):
+    """The classic traversal matrix: a symmetric side is only traversable
+    when the OTHER side's filter is endpoint-independent (full cone) — its
+    fresh per-punch mapping then still gets through, and peer-reflexive
+    candidate discovery finds the return path.  Cone-to-cone always works;
+    RST rejection is tolerated by retries (§5.2)."""
+
+    def tolerates_symmetric_peer(tag):
+        return tag == "full-cone"
+
+    if tag_a.startswith("sym") and not tolerates_symmetric_peer(tag_b):
+        return False
+    if tag_b.startswith("sym") and not tolerates_symmetric_peer(tag_a):
+        return False
+    return True
+
+
+def test_udp_compatibility_matrix(benchmark):
+    def measure():
+        matrix = {}
+        for i, (tag_a, behavior_a) in enumerate(PRESETS):
+            for j, (tag_b, behavior_b) in enumerate(PRESETS):
+                matrix[(tag_a, tag_b)] = _udp_punch(
+                    behavior_a, behavior_b, seed=100 + i * 10 + j
+                )
+        return matrix
+
+    matrix = benchmark(measure)
+    for (tag_a, tag_b), success in matrix.items():
+        assert success == _expected(tag_a, tag_b), (tag_a, tag_b, success)
+    rendered = "\n".join(
+        f"{tag_a:10s} " + " ".join(
+            "Y" if matrix[(tag_a, tag_b)] else "." for tag_b, _ in PRESETS
+        )
+        for tag_a, _ in PRESETS
+    )
+    benchmark.extra_info["matrix"] = rendered
+    benchmark.extra_info["success_rate"] = round(
+        sum(matrix.values()) / len(matrix), 3
+    )
+
+
+def test_tcp_compatibility_matrix(benchmark):
+    def measure():
+        matrix = {}
+        for i, (tag_a, behavior_a) in enumerate(PRESETS):
+            for j, (tag_b, behavior_b) in enumerate(PRESETS):
+                matrix[(tag_a, tag_b)] = _tcp_punch(
+                    behavior_a, behavior_b, seed=200 + i * 10 + j
+                )
+        return matrix
+
+    matrix = benchmark(measure)
+    for (tag_a, tag_b), success in matrix.items():
+        assert success == _expected(tag_a, tag_b), (tag_a, tag_b, success)
+    benchmark.extra_info["success_rate"] = round(
+        sum(matrix.values()) / len(matrix), 3
+    )
+
+
+def test_prediction_extends_the_matrix():
+    """§5.1: prediction flips the cone-vs-predictable-symmetric cells."""
+    assert not _udp_punch(B.WELL_BEHAVED, B.SYMMETRIC_PREDICTABLE, seed=300)
+    assert _udp_punch(B.WELL_BEHAVED, B.SYMMETRIC_PREDICTABLE, seed=300, predict=3)
+    # But not the random-allocator cells.
+    assert not _udp_punch(B.WELL_BEHAVED, B.SYMMETRIC_RANDOM, seed=301, predict=3)

@@ -1,0 +1,84 @@
+"""Simulator performance: events/second and packets/second.
+
+Not a paper artifact — these benches track the substrate's own speed so
+regressions in the hot paths (scheduler heap, link delivery, NAT
+translation) are visible.  The 380-device Table 1 fleet leans on these.
+"""
+
+from repro.nat import behavior as B
+from repro.nat.device import NatDevice
+from repro.netsim.addresses import Endpoint
+from repro.netsim.clock import Scheduler
+from repro.netsim.link import LAN_LINK
+from repro.netsim.network import Network
+from repro.transport.stack import attach_stack
+
+
+def test_scheduler_event_throughput(benchmark):
+    def run():
+        s = Scheduler()
+        count = {"n": 0}
+
+        def tick():
+            count["n"] += 1
+            if count["n"] < 10_000:
+                s.call_later(0.001, tick)
+
+        s.call_later(0.0, tick)
+        s.run(max_events=20_000)
+        return count["n"]
+
+    events = benchmark(run)
+    assert events == 10_000
+
+
+def test_udp_packet_throughput_through_nat(benchmark):
+    """End-to-end packets through a NAT: host -> NAT -> server and back."""
+
+    def run():
+        net = Network(seed=1)
+        backbone = net.create_link("backbone")
+        server = net.add_host("S", ip="18.181.0.31", network="0.0.0.0/0", link=backbone)
+        attach_stack(server)
+        nat = NatDevice("NAT", net.scheduler, B.WELL_BEHAVED, rng=net.rng.child("n"))
+        net.add_node(nat)
+        nat.set_wan("155.99.25.11", "0.0.0.0/0", backbone)
+        lan = net.create_link("lan", LAN_LINK)
+        nat.add_lan("10.0.0.254", "10.0.0.0/24", lan)
+        client = net.add_host("C", ip="10.0.0.1", network="10.0.0.0/24", link=lan,
+                              gateway="10.0.0.254")
+        attach_stack(client)
+        echo = server.stack.udp.socket(1234)
+        echo.on_datagram = lambda d, src: echo.sendto(d, src)
+        received = []
+        sock = client.stack.udp.socket(4321)
+        sock.on_datagram = lambda d, src: received.append(d)
+        for i in range(2_000):
+            sock.sendto(b"x" * 32, Endpoint("18.181.0.31", 1234))
+        net.run_until(10.0)
+        return len(received)
+
+    echoed = benchmark(run)
+    assert echoed == 2_000
+
+
+def test_tcp_bulk_transfer_throughput(benchmark):
+    """256 kB over simulated TCP (segmentation, acks, reassembly)."""
+    from tests.conftest import make_lan_pair, run_until
+
+    def run():
+        net, a, b = make_lan_pair(seed=3)
+        accepted = []
+        b.stack.tcp.listen(80, on_accept=accepted.append)
+        client = a.stack.tcp.connect(Endpoint("192.0.2.2", 80))
+        run_until(net, lambda: accepted)
+        total = {"n": 0}
+        accepted[0].on_data = lambda d: total.__setitem__("n", total["n"] + len(d))
+        chunk = bytes(1024)
+        for _ in range(256):
+            client.send(chunk)
+        net.run_until(net.now + 30)
+        return total["n"]
+
+    transferred = benchmark(run)
+    assert transferred == 256 * 1024

@@ -1,0 +1,58 @@
+"""Table 1: per-vendor NAT support for UDP and TCP hole punching.
+
+Regenerates the paper's headline evaluation by running the full NAT Check
+protocol against the 380-device synthetic fleet.  Asserts the paper's
+totals exactly for UDP (310/380 = 82%), UDP hairpin (80/335 = 24%), and TCP
+(184/286 = 64%); TCP hairpin differs by the paper's own internal
+inconsistency (per-vendor numerators sum to 40 > the printed 37).
+"""
+
+from repro.natcheck.fleet import VENDOR_SPECS, run_fleet
+from repro.natcheck.table import PAPER_TABLE1, render_table1, table1_rows
+
+
+def _measure():
+    result = run_fleet(seed=42)
+    rows = {row.vendor: row for row in table1_rows(result.reports)}
+    return result, rows
+
+
+def test_table1_full_fleet(benchmark):
+    result, rows = benchmark(_measure)
+    totals = rows["All Vendors"]
+    # Paper totals, measured by actually running NAT Check per device.
+    assert totals.udp == (310, 380)
+    assert totals.udp_hairpin == (80, 335)
+    assert totals.tcp == (184, 286)
+    # Every named vendor row matches the paper cell for cell.
+    for vendor, (udp, udp_hp, tcp, tcp_hp) in PAPER_TABLE1.items():
+        if vendor == "All Vendors" or vendor not in rows:
+            continue
+        row = rows[vendor]
+        assert row.udp == udp, vendor
+        assert row.udp_hairpin == udp_hp, vendor
+        assert row.tcp == tcp, vendor
+        assert row.tcp_hairpin == tcp_hp, vendor
+    benchmark.extra_info["devices"] = result.total_devices
+    benchmark.extra_info["udp_pct"] = round(100 * totals.udp[0] / totals.udp[1])
+    benchmark.extra_info["tcp_pct"] = round(100 * totals.tcp[0] / totals.tcp[1])
+    benchmark.extra_info["table"] = render_table1(result.reports, compare_with_paper=False)
+
+
+def test_table1_headline_percentages(benchmark):
+    """The abstract's claim: ~82% of NATs support UDP punching, ~64% TCP."""
+
+    def measure():
+        result = run_fleet(seed=7)
+        rows = {row.vendor: row for row in table1_rows(result.reports)}
+        totals = rows["All Vendors"]
+        return (
+            totals.udp[0] / totals.udp[1],
+            totals.tcp[0] / totals.tcp[1],
+        )
+
+    udp_rate, tcp_rate = benchmark(measure)
+    assert abs(udp_rate - 0.82) < 0.01
+    assert abs(tcp_rate - 0.64) < 0.01
+    benchmark.extra_info["udp_rate"] = round(udp_rate, 4)
+    benchmark.extra_info["tcp_rate"] = round(tcp_rate, 4)

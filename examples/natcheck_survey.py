@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Table 1 by running NAT Check over the device fleet.
+
+Synthesises the 380-device population matching the paper's per-vendor
+behaviour mix and runs the full NAT Check protocol (§6.1) against every
+device, then prints the aggregated table next to the paper's numbers.
+
+Run:  python examples/natcheck_survey.py [--quick]
+      --quick tests one device per vendor instead of the full population.
+"""
+
+import sys
+
+from repro.natcheck.fleet import VENDOR_SPECS, VendorSpec, run_fleet
+from repro.natcheck.table import render_table1
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    specs = VENDOR_SPECS
+    if quick:
+        specs = tuple(
+            VendorSpec(s.name, (min(1, s.udp[0]), 1), (min(1, s.udp_hairpin[0]), 1),
+                       (min(1, s.tcp[0]), 1), (min(1, s.tcp_hairpin[0]), 1))
+            for s in VENDOR_SPECS
+        )
+        print("quick mode: one representative device per vendor\n")
+
+    def progress(vendor: str, done: int, total: int) -> None:
+        if done == total:
+            print(f"  {vendor}: {total} device(s) tested")
+
+    result = run_fleet(specs, seed=42, progress=progress)
+    print(f"\n{result.total_devices} simulated NAT Check reports\n")
+    print(render_table1(result.reports))
+    print(
+        "\nNote: the per-vendor TCP-hairpin numerators in the paper sum to 40,\n"
+        "exceeding its own 'All Vendors' 37/286 — we reproduce the per-vendor\n"
+        "rows exactly, so our totals row shows that inconsistency honestly."
+    )
+
+
+if __name__ == "__main__":
+    main()

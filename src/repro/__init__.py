@@ -1,0 +1,37 @@
+"""repro — a reproduction of "Peer-to-Peer Communication Across Network
+Address Translators" (Ford, Srisuresh, Kegel; USENIX 2005).
+
+The library implements UDP and TCP hole punching, connection reversal, and
+relaying over a deterministic packet-level network simulator with fully
+configurable NAT behaviour, plus a reproduction of the paper's NAT Check
+evaluation (Table 1).
+
+Quick start::
+
+    from repro.scenarios import build_two_nats
+
+    scenario = build_two_nats(seed=1)
+    scenario.register_all_udp()
+    a, b = scenario.clients["A"], scenario.clients["B"]
+    established = []
+    a.connect_udp(peer_id=2, on_session=established.append)
+    scenario.wait_for(lambda: established)
+    established[0].send(b"hello through the hole")
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import PeerClient, P2PConnector, RendezvousServer
+from repro.netsim import Endpoint, Network
+from repro.nat import NatBehavior, NatDevice
+
+__all__ = [
+    "PeerClient",
+    "P2PConnector",
+    "RendezvousServer",
+    "Endpoint",
+    "Network",
+    "NatBehavior",
+    "NatDevice",
+    "__version__",
+]

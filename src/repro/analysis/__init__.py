@@ -1,0 +1,9 @@
+"""Reproduction driver: regenerate every table and figure in one run.
+
+``python -m repro.analysis`` prints the full paper-vs-measured report;
+:func:`repro.analysis.report.generate_report` returns it as a string.
+"""
+
+from repro.analysis.report import ReportSection, generate_report
+
+__all__ = ["ReportSection", "generate_report"]

@@ -1,0 +1,23 @@
+"""CLI entry point: ``python -m repro.analysis [--quick] [--seed N]``."""
+
+import argparse
+
+from repro.analysis.report import generate_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="Regenerate every table/figure of the hole-punching paper."
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the 380-device Table 1 fleet")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    try:
+        print(generate_report(seed=args.seed, quick=args.quick))
+    except BrokenPipeError:  # output piped into head etc.
+        pass
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""The paper's contribution: rendezvous-assisted NAT traversal.
+
+* :mod:`repro.core.protocol` — binary wire protocol (register / endpoint
+  exchange / punch / relay / reversal messages) with optional IP obfuscation;
+* :mod:`repro.core.rendezvous` — the well-known server S;
+* :mod:`repro.core.udp_punch` — UDP hole punching (§3);
+* :mod:`repro.core.tcp_punch` — parallel TCP hole punching (§4.2-4.4);
+* :mod:`repro.core.tcp_sequential` — the NatTrav-style sequential variant (§4.5);
+* :mod:`repro.core.reversal` — connection reversal (§2.3);
+* :mod:`repro.core.relay` — relaying through S (§2.2);
+* :mod:`repro.core.client` — :class:`PeerClient`, the application-facing API;
+* :mod:`repro.core.connector` — the direct → reversal → punch → relay ladder.
+"""
+
+from repro.core.client import PeerClient
+from repro.core.connector import ConnectOutcome, P2PConnector
+from repro.core.rendezvous import RendezvousServer
+from repro.core.relay import RelaySession
+from repro.core.udp_punch import UdpHolePuncher, UdpSession
+from repro.core.tcp_punch import TcpHolePuncher, TcpStream
+
+__all__ = [
+    "PeerClient",
+    "ConnectOutcome",
+    "P2PConnector",
+    "RendezvousServer",
+    "RelaySession",
+    "UdpHolePuncher",
+    "UdpSession",
+    "TcpHolePuncher",
+    "TcpStream",
+]

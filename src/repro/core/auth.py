@@ -1,0 +1,31 @@
+"""Session authentication helpers (paper §3.4, §4.2 step 5).
+
+Hole punching necessarily sprays probes at endpoints that may belong to the
+wrong host (another machine on the local network with the peer's private IP,
+§3.4), so every probe and every fresh TCP stream is authenticated against the
+pairing nonce the rendezvous server issued to both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.protocol import Hello, Punch, PunchAck, SessionData, SessionKeepalive
+
+_Authenticated = Union[Punch, PunchAck, SessionData, SessionKeepalive, Hello]
+
+
+def message_is_from_peer(
+    message: _Authenticated, my_id: int, peer_id: int, nonce: int
+) -> bool:
+    """True iff *message* proves it came from *peer_id* addressed to us.
+
+    The check is (sender, receiver, nonce) — a stray host that happens to
+    receive probes cannot forge the nonce, and probes that reached the wrong
+    member of a punching mesh fail the id check.
+    """
+    return (
+        message.sender == peer_id
+        and message.receiver == my_id
+        and message.nonce == nonce
+    )

@@ -1,0 +1,791 @@
+"""PeerClient: the application-facing API of the library.
+
+One :class:`PeerClient` corresponds to the paper's "client A" / "client B":
+a host that registers with a rendezvous server S and then establishes direct
+peer-to-peer sessions with other clients by UDP hole punching (§3), parallel
+TCP hole punching (§4.2), sequential TCP hole punching (§4.5), connection
+reversal (§2.3), or relaying through S (§2.2).
+
+Typical use (see ``examples/quickstart.py``)::
+
+    client = PeerClient(host, client_id=1, server=server_endpoint)
+    client.register_udp()
+    ...run the network until registered...
+    client.connect_udp(peer_id=2, on_session=lambda s: s.send(b"hi"))
+
+The client owns one UDP socket (enough for S *and* all peers, §4.2) and —
+once :meth:`register_tcp` is called — one TCP listen socket plus a control
+connection to S, all sharing one local TCP port via SO_REUSEADDR (§4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import protocol
+from repro.core.protocol import (
+    ConnectRequest,
+    FrameBuffer,
+    Hello,
+    Keepalive,
+    Message,
+    PeerEndpoints,
+    Punch,
+    PunchAck,
+    Register,
+    Registered,
+    RelayPayload,
+    RendezvousError,
+    ReverseConnect,
+    ReverseExpect,
+    ReverseRequest,
+    SeqConnect,
+    SeqReady,
+    SessionClose,
+    SessionData,
+    SessionKeepalive,
+    TRANSPORT_TCP,
+    TRANSPORT_UDP,
+)
+from repro.core.relay import RelaySession
+from repro.core.reversal import ReversalRequest, ReversalResponder
+from repro.core.tcp_punch import TcpHolePuncher, TcpPunchConfig, TcpStream
+from repro.core.tcp_sequential import (
+    SequentialConfig,
+    SequentialRequester,
+    SequentialResponder,
+)
+from repro.core.turn import TurnClient, TurnPairSession
+from repro.core.udp_punch import PunchConfig, UdpHolePuncher, UdpSession
+from repro.netsim.addresses import Endpoint
+from repro.util.rng import SeededRng
+from repro.netsim.clock import Timer
+from repro.netsim.node import Host
+from repro.util.errors import ProtocolError, ReproError
+
+SessionHandler = Callable[[UdpSession], None]
+StreamHandler = Callable[[TcpStream], None]
+FailureHandler = Callable[[Exception], None]
+_Claimant = Callable[[TcpStream, Hello], None]
+
+#: How long an accepted-but-unclaimed authenticated stream is parked before
+#: being dropped (covers Hello racing ahead of the endpoint exchange).
+PARK_GRACE = 5.0
+#: How long an accepted stream may stay silent before being dropped.
+ACCEPT_AUTH_GRACE = 5.0
+
+
+class PeerClient:
+    """A peer application instance on one simulated host.
+
+    Args:
+        host: the simulated host (must have a HostStack attached).
+        client_id: this client's identity at the rendezvous server.
+        server: the server's well-known endpoint (same port for UDP/TCP).
+        local_port: the client's local port — the paper's examples use 4321;
+            used for the UDP socket and (separately) the TCP port family.
+        obfuscate: obfuscate endpoint fields in messages (§3.1 defence
+            against payload-mangling NATs; must match the server's setting).
+        punch_config / tcp_punch_config / sequential_config: timing knobs.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        client_id: int,
+        server: Endpoint,
+        local_port: int = 4321,
+        obfuscate: bool = False,
+        punch_config: Optional[PunchConfig] = None,
+        tcp_punch_config: Optional[TcpPunchConfig] = None,
+        sequential_config: Optional[SequentialConfig] = None,
+    ) -> None:
+        self.host = host
+        self.client_id = client_id
+        self.server = server
+        self.obfuscate = obfuscate
+        self.punch_config = punch_config or PunchConfig()
+        self.tcp_punch_config = tcp_punch_config or TcpPunchConfig()
+        self.sequential_config = sequential_config or SequentialConfig()
+        stack = host.stack  # type: ignore[attr-defined]
+        self._stack = stack
+        # --- UDP side -------------------------------------------------------
+        self.udp_socket = stack.udp.socket(local_port)
+        self.udp_socket.on_datagram = self._on_udp
+        self.udp_private = self.udp_socket.local
+        self.udp_public: Optional[Endpoint] = None
+        self.udp_registered = False
+        self._udp_register_cb: Optional[Callable[[], None]] = None
+        self._udp_register_timer: Optional[Timer] = None
+        self._udp_register_tries = 0
+        self._server_keepalive_timer: Optional[Timer] = None
+        self._pending_udp: Dict[int, tuple] = {}
+        self.punchers: Dict[int, UdpHolePuncher] = {}
+        self.sessions: Dict[int, UdpSession] = {}
+        # --- TCP side -------------------------------------------------------
+        self.tcp_local_port = local_port
+        self.tcp_private = Endpoint(host.primary_ip, local_port)
+        self.tcp_public: Optional[Endpoint] = None
+        self.tcp_registered = False
+        self._tcp_register_cb: Optional[Callable[[], None]] = None
+        self._control = None  # TcpConnection
+        self._control_buffer = FrameBuffer()
+        self._listener = None
+        self._pending_tcp: Dict[int, tuple] = {}
+        self.tcp_punchers: Dict[int, TcpHolePuncher] = {}
+        self._stream_claimants: Dict[Tuple[int, int], _Claimant] = {}
+        self._parked_streams: Dict[Tuple[int, int], Tuple[TcpStream, Hello]] = {}
+        self._reversals: List[ReversalRequest] = []
+        self._sequentials: Dict[int, SequentialRequester] = {}
+        # --- fallbacks and app handlers ----------------------------------------
+        self.relays: Dict[Tuple[int, int], RelaySession] = {}
+        self.on_peer_session: Optional[SessionHandler] = None
+        self.on_peer_stream: Optional[StreamHandler] = None
+        self.on_relay_session: Optional[Callable[[RelaySession], None]] = None
+        self.incoming_streams: List[TcpStream] = []
+        # --- TURN (enabled via enable_turn) ---------------------------------------
+        self.turn: Optional[TurnClient] = None
+        self.turn_pairs: Dict[int, TurnPairSession] = {}
+        self._pending_turn: Dict[int, tuple] = {}
+        self.on_turn_session: Optional[Callable[[TurnPairSession], None]] = None
+        self._rng = SeededRng(client_id, "peer-client")
+        # --- metrics --------------------------------------------------------------
+        self.control_reconnects = 0
+        self.reversal_dial_failures = 0
+        self.stray_messages = 0
+
+    # -- conveniences ------------------------------------------------------------
+
+    @property
+    def scheduler(self):
+        return self.host.scheduler
+
+    @property
+    def tcp_stack(self):
+        return self._stack.tcp
+
+    # =====================================================================
+    # UDP: registration, punching, sessions
+    # =====================================================================
+
+    def register_udp(
+        self,
+        on_registered: Optional[Callable[[], None]] = None,
+        retry_interval: float = 1.0,
+        max_tries: int = 5,
+    ) -> None:
+        """Register with S over UDP (§3.1).  Retries cover datagram loss.
+
+        Calling again re-registers (e.g. after the server lost its state).
+        """
+        self.udp_registered = False
+        self._udp_register_cb = on_registered
+        self._udp_register_tries = 0
+        if self._udp_register_timer is not None:
+            self._udp_register_timer.cancel()
+        self._udp_register_attempt(retry_interval, max_tries)
+
+    def _udp_register_attempt(self, retry_interval: float, tries_left: int) -> None:
+        if self.udp_registered:
+            return
+        if tries_left <= 0:
+            return
+        self._udp_register_tries += 1
+        self._send_server_udp(
+            Register(client_id=self.client_id, private_ep=self.udp_private)
+        )
+        self._udp_register_timer = self.scheduler.call_later(
+            retry_interval, self._udp_register_attempt, retry_interval, tries_left - 1
+        )
+
+    def start_server_keepalives(self, interval: float = 15.0) -> None:
+        """Periodically refresh the registration's NAT mapping (§3.6)."""
+        if self._server_keepalive_timer is not None:
+            self._server_keepalive_timer.cancel()
+
+        def tick() -> None:
+            self._send_server_udp(Keepalive(client_id=self.client_id))
+            self._server_keepalive_timer = self.scheduler.call_later(interval, tick)
+
+        self._server_keepalive_timer = self.scheduler.call_later(interval, tick)
+
+    def stop_server_keepalives(self) -> None:
+        if self._server_keepalive_timer is not None:
+            self._server_keepalive_timer.cancel()
+            self._server_keepalive_timer = None
+
+    def connect_udp(
+        self,
+        peer_id: int,
+        on_session: SessionHandler,
+        on_failure: Optional[FailureHandler] = None,
+        config: Optional[PunchConfig] = None,
+    ) -> None:
+        """Establish a P2P UDP session with *peer_id* by hole punching (§3.2).
+
+        The outcome arrives via *on_session* (an established
+        :class:`UdpSession`) or *on_failure*.  *config* overrides the
+        client-wide :attr:`punch_config` for this punch only.
+        """
+        if not self.udp_registered:
+            raise ReproError("connect_udp before UDP registration completed")
+        existing = self.sessions.get(peer_id)
+        if existing is not None and existing.alive:
+            self.scheduler.call_later(0.0, on_session, existing)
+            return
+        self._pending_udp[peer_id] = (on_session, on_failure, config)
+        # Retransmit the request while it is pending: the request or the
+        # server's forwarded endpoints may be lost in transit, and S keeps a
+        # stable pairing nonce across retries.
+        budget = (config or self.punch_config).timeout
+        self._udp_connect_attempt(peer_id, tries_left=max(1, int(budget)))
+
+    def _udp_connect_attempt(self, peer_id: int, tries_left: int) -> None:
+        if peer_id not in self._pending_udp or tries_left <= 0:
+            return
+        self._send_server_udp(
+            ConnectRequest(
+                requester_id=self.client_id,
+                target_id=peer_id,
+                transport=TRANSPORT_UDP,
+            )
+        )
+        self.scheduler.call_later(
+            1.0, self._udp_connect_attempt, peer_id, tries_left - 1
+        )
+
+    def _send_server_udp(self, message: Message) -> None:
+        self.udp_socket.sendto(protocol.encode(message, self.obfuscate), self.server)
+
+    def _send_peer(self, message: Message, endpoint: Endpoint) -> None:
+        """Raw datagram to a peer candidate endpoint (punchers/sessions)."""
+        self.udp_socket.sendto(protocol.encode(message, self.obfuscate), endpoint)
+
+    # -- UDP demux ----------------------------------------------------------------
+
+    def _on_udp(self, data: bytes, src: Endpoint) -> None:
+        message = protocol.try_decode(data)
+        if message is None:
+            self.stray_messages += 1
+            return
+        if isinstance(message, Registered):
+            self._udp_registered(message)
+        elif isinstance(message, PeerEndpoints):
+            if message.transport == TRANSPORT_UDP:
+                self._udp_endpoint_exchange(message)
+        elif isinstance(message, (Punch, PunchAck, SessionData, SessionKeepalive, SessionClose)):
+            self._route_peer_message(message, src)
+        elif isinstance(message, RelayPayload):
+            self._route_relay(message, TRANSPORT_UDP)
+        elif isinstance(message, protocol.TurnExchange):
+            self._handle_turn_exchange(message)
+        elif isinstance(message, RendezvousError):
+            self._udp_request_failed(message)
+
+    def _udp_registered(self, message: Registered) -> None:
+        if message.client_id != self.client_id:
+            return
+        self.udp_public = message.public_ep
+        self.udp_registered = True
+        if self._udp_register_timer is not None:
+            self._udp_register_timer.cancel()
+        callback, self._udp_register_cb = self._udp_register_cb, None
+        if callback is not None:
+            callback()
+
+    @property
+    def behind_nat_udp(self) -> Optional[bool]:
+        """True if S observed a different endpoint than we bound (§3.1)."""
+        if self.udp_public is None:
+            return None
+        return self.udp_public != self.udp_private
+
+    def _udp_endpoint_exchange(self, message: PeerEndpoints) -> None:
+        """§3.2 step 2/3: we know the peer's endpoints — start punching."""
+        peer_id = message.peer_id
+        if peer_id in self.punchers and not self.punchers[peer_id].finished:
+            return  # already punching this peer
+        pending = self._pending_udp.pop(peer_id, None)
+        if pending is not None:
+            on_session, on_failure, config = pending
+        else:
+            # Responder role: deliver via the application-level handler.
+            on_session = self._deliver_incoming_session
+            on_failure = None
+            config = None
+        puncher = UdpHolePuncher(
+            client=self,
+            peer_id=peer_id,
+            nonce=message.nonce,
+            candidates=[message.public_ep, message.private_ep],
+            on_session=on_session,
+            on_failure=on_failure,
+            config=config or self.punch_config,
+        )
+        self.punchers[peer_id] = puncher
+        puncher.start()
+        if pending is not None:
+            # We are the requester: keep nudging S while the punch is live,
+            # in case the responder's copy of the endpoint exchange was lost
+            # (S reuses the pairing nonce, so late copies still match).
+            self._udp_connect_nudge(peer_id)
+
+    def _udp_connect_nudge(self, peer_id: int) -> None:
+        puncher = self.punchers.get(peer_id)
+        if puncher is None or puncher.finished:
+            return
+        self._send_server_udp(
+            ConnectRequest(
+                requester_id=self.client_id,
+                target_id=peer_id,
+                transport=TRANSPORT_UDP,
+            )
+        )
+        self.scheduler.call_later(1.0, self._udp_connect_nudge, peer_id)
+
+    def _route_peer_message(self, message, src: Endpoint) -> None:
+        sender = message.sender
+        puncher = self.punchers.get(sender)
+        if puncher is not None and not puncher.finished:
+            puncher.handle(message, src)
+            return
+        session = self.sessions.get(sender)
+        if (
+            session is not None
+            and session.alive
+            and message.receiver == self.client_id
+            and message.nonce == session.nonce
+        ):
+            session._handle(message, src)
+            return
+        self.stray_messages += 1
+
+    def _route_relay(self, message: RelayPayload, transport: int) -> None:
+        if message.target != self.client_id:
+            self.stray_messages += 1
+            return
+        key = (message.sender, transport)
+        session = self.relays.get(key)
+        if session is None:
+            session = RelaySession(self, message.sender, transport)
+            self.relays[key] = session
+            if self.on_relay_session is not None:
+                self.on_relay_session(session)
+        session._handle(message)
+
+    def _udp_request_failed(self, error: RendezvousError) -> None:
+        pending, self._pending_udp = self._pending_udp, {}
+        for _, (_, on_failure, _cfg) in pending.items():
+            if on_failure is not None:
+                on_failure(ReproError(f"rendezvous error: {error.reason}"))
+
+    # -- puncher/session bookkeeping --------------------------------------------------
+
+    def _puncher_succeeded(self, puncher: UdpHolePuncher, session: UdpSession) -> None:
+        self.punchers.pop(puncher.peer_id, None)
+        old = self.sessions.get(puncher.peer_id)
+        if old is not None and old.alive:
+            old.close()
+        self.sessions[puncher.peer_id] = session
+
+    def _puncher_failed(self, puncher: UdpHolePuncher) -> None:
+        self.punchers.pop(puncher.peer_id, None)
+
+    def _session_closed(self, session: UdpSession) -> None:
+        if self.sessions.get(session.peer_id) is session:
+            del self.sessions[session.peer_id]
+
+    def _deliver_incoming_session(self, session: UdpSession) -> None:
+        if self.on_peer_session is not None:
+            self.on_peer_session(session)
+
+    # =====================================================================
+    # TCP: registration, parallel/sequential punching, reversal
+    # =====================================================================
+
+    def register_tcp(self, on_registered: Optional[Callable[[], None]] = None) -> None:
+        """Open the listen socket and the control connection to S (§4.2).
+
+        All TCP sockets share :attr:`tcp_local_port` via SO_REUSEADDR (§4.1).
+        """
+        self._tcp_register_cb = on_registered
+        if self._listener is None:
+            self._listener = self.tcp_stack.listen(
+                self.tcp_local_port, on_accept=self._on_accept, reuse=True
+            )
+        self._open_control()
+
+    def _open_control(self) -> None:
+        self._control_buffer = FrameBuffer()
+        self._control = self.tcp_stack.connect(
+            self.server,
+            local_port=self.tcp_local_port,
+            reuse=True,
+            on_connected=self._control_connected,
+            on_error=self._control_error,
+            on_data=self._control_data,
+        )
+
+    def _control_connected(self, conn) -> None:
+        conn.send(
+            protocol.frame(
+                Register(client_id=self.client_id, private_ep=self.tcp_private),
+                self.obfuscate,
+            )
+        )
+
+    def _control_error(self, error) -> None:
+        self.tcp_registered = False
+
+    def _control_data(self, data: bytes) -> None:
+        try:
+            messages = self._control_buffer.feed(data)
+        except ProtocolError:
+            return
+        for message in messages:
+            self._dispatch_server_tcp(message)
+
+    def _send_server_tcp(self, message: Message) -> None:
+        if self._control is None:
+            raise ReproError("TCP control connection not open")
+        self._control.send(protocol.frame(message, self.obfuscate))
+
+    def _consume_control_connection(self) -> None:
+        """§4.5: the sequential procedure consumes the connection to S; we
+        reset it and immediately re-register on a fresh connection."""
+        self.control_reconnects += 1
+        self.tcp_registered = False
+        if self._control is not None:
+            self._control.abort()
+        self._open_control()
+
+    def connect_tcp(
+        self,
+        peer_id: int,
+        on_stream: StreamHandler,
+        on_failure: Optional[FailureHandler] = None,
+        config: Optional[TcpPunchConfig] = None,
+    ) -> None:
+        """Open a P2P TCP stream to *peer_id* by parallel hole punching (§4.2).
+
+        *config* overrides :attr:`tcp_punch_config` for this punch only.
+        """
+        if not self.tcp_registered:
+            raise ReproError("connect_tcp before TCP registration completed")
+        self._pending_tcp[peer_id] = (on_stream, on_failure, config)
+        self._send_server_tcp(
+            ConnectRequest(
+                requester_id=self.client_id,
+                target_id=peer_id,
+                transport=TRANSPORT_TCP,
+            )
+        )
+
+    def connect_tcp_sequential(
+        self,
+        peer_id: int,
+        on_stream: StreamHandler,
+        on_failure: Optional[FailureHandler] = None,
+    ) -> None:
+        """Open a P2P TCP stream using the §4.5 sequential procedure."""
+        if not self.tcp_registered:
+            raise ReproError("connect_tcp_sequential before TCP registration")
+        requester = SequentialRequester(
+            self, peer_id, on_stream, on_failure, self.sequential_config
+        )
+        self._sequentials[peer_id] = requester
+        requester.start()
+
+    def request_reversal(
+        self,
+        target_id: int,
+        on_stream: StreamHandler,
+        on_failure: Optional[FailureHandler] = None,
+        timeout: float = 15.0,
+    ) -> None:
+        """Ask *target_id* (via S) to connect back to us (§2.3)."""
+        if not self.tcp_registered:
+            raise ReproError("request_reversal before TCP registration")
+        request = ReversalRequest(self, target_id, on_stream, on_failure, timeout)
+        self._reversals.append(request)
+        self._send_server_tcp(
+            ReverseRequest(requester_id=self.client_id, target_id=target_id)
+        )
+
+    def open_relay(self, peer_id: int, transport: int = TRANSPORT_UDP) -> RelaySession:
+        """Open (or return) a relayed channel to *peer_id* via S (§2.2)."""
+        key = (peer_id, transport)
+        session = self.relays.get(key)
+        if session is None or session.closed:
+            session = RelaySession(self, peer_id, transport)
+            self.relays[key] = session
+        return session
+
+    def _relay_closed(self, session: RelaySession) -> None:
+        key = (session.peer_id, session.transport)
+        if self.relays.get(key) is session:
+            del self.relays[key]
+
+    # -- server (TCP control) demux -----------------------------------------------------
+
+    def _dispatch_server_tcp(self, message: Message) -> None:
+        if isinstance(message, Registered):
+            if message.client_id == self.client_id:
+                self.tcp_public = message.public_ep
+                self.tcp_registered = True
+                callback, self._tcp_register_cb = self._tcp_register_cb, None
+                if callback is not None:
+                    callback()
+        elif isinstance(message, PeerEndpoints):
+            if message.transport == TRANSPORT_TCP:
+                self._tcp_endpoint_exchange(message)
+        elif isinstance(message, ReverseExpect):
+            for request in self._reversals:
+                if request.target_id == message.peer_id and not request.finished:
+                    request.expect(message.nonce)
+                    break
+        elif isinstance(message, ReverseConnect):
+            ReversalResponder(self, message)
+        elif isinstance(message, SeqConnect):
+            SequentialResponder(self, message, self.sequential_config)
+        elif isinstance(message, SeqReady):
+            requester = self._sequentials.get(message.peer_id)
+            if requester is not None:
+                requester.handle_ready(message)
+        elif isinstance(message, RelayPayload):
+            self._route_relay(message, TRANSPORT_TCP)
+        elif isinstance(message, RendezvousError):
+            self._tcp_request_failed(message)
+
+    def _tcp_endpoint_exchange(self, message: PeerEndpoints) -> None:
+        """§4.2 step 2/3: start connecting while we keep listening."""
+        peer_id = message.peer_id
+        if peer_id in self.tcp_punchers and not self.tcp_punchers[peer_id].finished:
+            return
+        pending = self._pending_tcp.pop(peer_id, None)
+        if pending is not None:
+            on_stream, on_failure, config = pending
+        else:
+            on_stream = self._deliver_incoming_stream
+            on_failure = None
+            config = None
+        puncher = TcpHolePuncher(
+            client=self,
+            peer_id=peer_id,
+            nonce=message.nonce,
+            candidates=[message.public_ep, message.private_ep],
+            controlling=message.role == PeerEndpoints.ROLE_REQUESTER,
+            on_stream=on_stream,
+            on_failure=on_failure,
+            config=config or self.tcp_punch_config,
+        )
+        self.tcp_punchers[peer_id] = puncher
+        self._register_stream_claimant(peer_id, message.nonce, puncher.offer_accepted)
+        puncher.start()
+
+    def _tcp_request_failed(self, error: RendezvousError) -> None:
+        pending, self._pending_tcp = self._pending_tcp, {}
+        for _, (_, on_failure, _cfg) in pending.items():
+            if on_failure is not None:
+                on_failure(ReproError(f"rendezvous error: {error.reason}"))
+
+    def _tcp_puncher_finished(self, puncher: TcpHolePuncher) -> None:
+        if self.tcp_punchers.get(puncher.peer_id) is puncher:
+            del self.tcp_punchers[puncher.peer_id]
+        self._unregister_stream_claimant(puncher.peer_id, puncher.nonce)
+
+    def _sequential_finished(self, requester: SequentialRequester) -> None:
+        if self._sequentials.get(requester.target_id) is requester:
+            del self._sequentials[requester.target_id]
+
+    def _reversal_finished(self, request: ReversalRequest) -> None:
+        if request in self._reversals:
+            self._reversals.remove(request)
+
+    # =====================================================================
+    # TURN: relayed peer-to-peer channels (§2.2's TURN design)
+    # =====================================================================
+
+    def enable_turn(self, turn_server: Endpoint, refresh_interval: Optional[float] = None) -> None:
+        """Attach a TURN client so :meth:`connect_via_turn` (and incoming
+        TURN exchanges) can build relayed channels."""
+        if self.turn is not None:
+            return
+        self.turn = TurnClient(
+            self.host, turn_server, self.client_id, refresh_interval=refresh_interval
+        )
+        self.turn.on_data = self._on_turn_data
+
+    def connect_via_turn(
+        self,
+        peer_id: int,
+        on_session: Callable[[TurnPairSession], None],
+        on_failure: Optional[FailureHandler] = None,
+        timeout: float = 10.0,
+    ) -> None:
+        """Build a TURN-to-TURN channel with *peer_id*.
+
+        Works across ANY NAT pair (both sides only ever talk outbound to
+        the relay), at the cost of relaying every byte — the §2.2 trade.
+        The peer must also have TURN enabled.
+        """
+        if self.turn is None:
+            raise ReproError("connect_via_turn before enable_turn")
+        if not self.udp_registered:
+            raise ReproError("connect_via_turn before UDP registration")
+        nonce = self._rng.nonce64()
+        deadline = self.scheduler.call_later(
+            timeout, self._turn_connect_timeout, peer_id
+        )
+        self._pending_turn[peer_id] = (on_session, on_failure, nonce, deadline)
+
+        def allocated(_relay_ep: Endpoint) -> None:
+            self._send_server_udp(
+                protocol.TurnExchange(
+                    sender=self.client_id,
+                    target=peer_id,
+                    relay_ep=self.turn.relay_endpoint,
+                    nonce=nonce,
+                )
+            )
+
+        if self.turn.relay_endpoint is not None:
+            allocated(self.turn.relay_endpoint)
+        else:
+            self.turn.allocate(allocated)
+
+    def _turn_connect_timeout(self, peer_id: int) -> None:
+        pending = self._pending_turn.pop(peer_id, None)
+        if pending is None:
+            return
+        _, on_failure, _, _ = pending
+        pair = self.turn_pairs.get(peer_id)
+        if pair is not None and pair.established:
+            return
+        if on_failure is not None:
+            on_failure(ReproError(f"TURN exchange with peer {peer_id} timed out"))
+
+    def _handle_turn_exchange(self, message) -> None:
+        """The peer advertised its relayed endpoint (forwarded by S)."""
+        if message.target != self.client_id or self.turn is None:
+            return
+        peer_id = message.sender
+        pending = self._pending_turn.get(peer_id)
+        if pending is not None:
+            on_session, _, nonce, deadline = pending
+            if message.nonce != nonce:
+                return
+            del self._pending_turn[peer_id]
+            deadline.cancel()
+            pair = TurnPairSession(self, self.turn, peer_id, nonce, message.relay_ep)
+            self.turn_pairs[peer_id] = pair
+            pair.on_established = lambda p: on_session(p)
+            return
+        # Responder role: allocate, answer with our relay endpoint, and
+        # deliver the session once the openers cross.
+        existing = self.turn_pairs.get(peer_id)
+        if existing is not None and existing.nonce == message.nonce:
+            return  # duplicate exchange
+
+        def respond(_relay_ep: Endpoint) -> None:
+            pair = TurnPairSession(
+                self, self.turn, peer_id, message.nonce, message.relay_ep
+            )
+            self.turn_pairs[peer_id] = pair
+            if self.on_turn_session is not None:
+                pair.on_established = self.on_turn_session
+            self._send_server_udp(
+                protocol.TurnExchange(
+                    sender=self.client_id,
+                    target=peer_id,
+                    relay_ep=self.turn.relay_endpoint,
+                    nonce=message.nonce,
+                )
+            )
+
+        if self.turn.relay_endpoint is not None:
+            respond(self.turn.relay_endpoint)
+        else:
+            self.turn.allocate(respond)
+
+    def _on_turn_data(self, src: Endpoint, payload: bytes) -> None:
+        """Traffic arrived at our relayed endpoint: route by source relay."""
+        message = protocol.try_decode(payload)
+        if message is None or not hasattr(message, "sender"):
+            self.stray_messages += 1
+            return
+        pair = self.turn_pairs.get(getattr(message, "sender", None))
+        if pair is not None and src == pair.peer_relay:
+            pair._handle(message)
+        else:
+            self.stray_messages += 1
+
+    # -- accepted-stream routing (§4.2 step 5) -------------------------------------------------
+
+    def _on_accept(self, conn) -> None:
+        stream = TcpStream(self, conn, origin="accept")
+        # If an active puncher is expecting this remote, let it speak first
+        # (covers the both-sides-listen-preferred case of §4.3/§4.4 where the
+        # stream surfaces via accept() on both ends).
+        for puncher in self.tcp_punchers.values():
+            if not puncher.finished and puncher.matches_remote(stream.remote):
+                puncher.adopt_unauthenticated(stream)
+                return
+        self._park_or_route_stream(stream)
+
+    def _park_or_route_stream(self, stream: TcpStream) -> None:
+        """Hold a fresh inbound stream until its Hello identifies it."""
+        stream._on_message = lambda m, s=stream: self._unauth_message(s, m)
+
+        def drop_if_silent() -> None:
+            if not stream.authenticated and not stream.closed:
+                stream.abort()
+
+        self.scheduler.call_later(ACCEPT_AUTH_GRACE, drop_if_silent)
+
+    def _unauth_message(self, stream: TcpStream, message: Message) -> None:
+        if not isinstance(message, Hello):
+            return  # wait for identification
+        if message.receiver != self.client_id:
+            stream.abort()  # §3.4/§4.2: wrong host — reject
+            return
+        key = (message.sender, message.nonce)
+        claimant = self._stream_claimants.get(key)
+        if claimant is not None:
+            stream.authenticated = True
+            claimant(stream, message)
+            return
+        # No claimant yet (Hello raced ahead of the endpoint exchange): park.
+        stream.authenticated = True
+        self._parked_streams[key] = (stream, message)
+
+        def expire() -> None:
+            parked = self._parked_streams.get(key)
+            if parked is not None and parked[0] is stream:
+                del self._parked_streams[key]
+                stream.abort()
+
+        self.scheduler.call_later(PARK_GRACE, expire)
+
+    def _register_stream_claimant(self, peer_id: int, nonce: int, claimant: _Claimant) -> None:
+        self._stream_claimants[(peer_id, nonce)] = claimant
+
+    def _unregister_stream_claimant(self, peer_id: int, nonce: int) -> None:
+        self._stream_claimants.pop((peer_id, nonce), None)
+
+    def _claim_parked_streams(self, peer_id: int, nonce: int) -> List[Tuple[TcpStream, Hello]]:
+        key = (peer_id, nonce)
+        parked = self._parked_streams.pop(key, None)
+        return [parked] if parked is not None else []
+
+    def _deliver_incoming_stream(self, stream: TcpStream) -> None:
+        if self.on_peer_stream is not None:
+            self.on_peer_stream(stream)
+        else:
+            self.incoming_streams.append(stream)
+
+    def __repr__(self) -> str:
+        return (
+            f"PeerClient(id={self.client_id}, udp={self.udp_private}, "
+            f"registered=({self.udp_registered},{self.tcp_registered}))"
+        )

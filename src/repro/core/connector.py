@@ -1,0 +1,184 @@
+"""P2PConnector: the strategy ladder.
+
+The paper's toolbox, ordered from most direct to most reliable:
+
+1. **hole punching** (§3/§4) — succeeds whenever the NATs are well-behaved,
+   and degenerates to a plain direct connection when the peer is public;
+2. **connection reversal** (§2.3) — succeeds when *we* are publicly
+   reachable and only the peer's direction was blocked;
+3. **relaying** (§2.2) — "always works as long as both clients can connect
+   to the server", at the cost of S's bandwidth and extra latency.
+
+:class:`P2PConnector` tries each strategy in turn with a per-phase timeout
+and reports a :class:`ConnectOutcome` per attempt — the shape modern ICE
+implementations later standardised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Union
+
+from repro.core.client import PeerClient
+from repro.core.relay import RelaySession
+from repro.core.tcp_punch import TcpStream
+from repro.core.udp_punch import UdpSession
+from repro.core.protocol import TRANSPORT_TCP, TRANSPORT_UDP
+
+Channel = Union[UdpSession, TcpStream, RelaySession]
+ResultHandler = Callable[["ConnectResult"], None]
+
+#: Strategy names, in ladder order.
+STRATEGY_PUNCH = "hole-punch"
+STRATEGY_REVERSAL = "reversal"
+STRATEGY_TURN = "turn-relay"
+STRATEGY_RELAY = "relay"
+
+
+@dataclass
+class ConnectOutcome:
+    """One strategy attempt's result."""
+
+    strategy: str
+    success: bool
+    elapsed: float
+    detail: str = ""
+
+
+@dataclass
+class ConnectResult:
+    """The ladder's final verdict.
+
+    Attributes:
+        channel: the established channel (UdpSession / TcpStream /
+            RelaySession) or None if even relaying was impossible.
+        strategy: the winning strategy name, or None.
+        attempts: per-strategy outcomes in the order tried.
+    """
+
+    channel: Optional[Channel] = None
+    strategy: Optional[str] = None
+    attempts: List[ConnectOutcome] = field(default_factory=list)
+
+    @property
+    def connected(self) -> bool:
+        return self.channel is not None
+
+
+class P2PConnector:
+    """Runs the strategy ladder for one client.
+
+    Args:
+        client: the local :class:`PeerClient` (already registered on the
+            transports the chosen strategies need).
+        transport: TRANSPORT_UDP (punch then relay) or TRANSPORT_TCP
+            (punch, reversal, then relay).
+        phase_timeout: per-strategy budget in virtual seconds.
+    """
+
+    def __init__(
+        self,
+        client: PeerClient,
+        transport: int = TRANSPORT_UDP,
+        phase_timeout: float = 10.0,
+        use_reversal: bool = True,
+    ) -> None:
+        self.client = client
+        self.transport = transport
+        self.phase_timeout = phase_timeout
+        self.use_reversal = use_reversal and transport == TRANSPORT_TCP
+
+    def connect(self, peer_id: int, on_result: ResultHandler) -> None:
+        """Run the ladder toward *peer_id*; *on_result* fires exactly once."""
+        result = ConnectResult()
+        strategies = [STRATEGY_PUNCH]
+        if self.use_reversal:
+            strategies.append(STRATEGY_REVERSAL)
+        if self.transport == TRANSPORT_UDP and self.client.turn is not None:
+            # A dedicated TURN relay (§2.2) beats burdening S with data.
+            strategies.append(STRATEGY_TURN)
+        strategies.append(STRATEGY_RELAY)
+        self._run_phase(peer_id, strategies, 0, result, on_result)
+
+    # -- phases ------------------------------------------------------------------
+
+    def _run_phase(
+        self,
+        peer_id: int,
+        strategies: List[str],
+        index: int,
+        result: ConnectResult,
+        on_result: ResultHandler,
+    ) -> None:
+        strategy = strategies[index]
+        started = self.client.scheduler.now
+        done = {"fired": False}
+
+        def succeed(channel: Channel, detail: str = "") -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            elapsed = self.client.scheduler.now - started
+            result.attempts.append(ConnectOutcome(strategy, True, elapsed, detail))
+            result.channel = channel
+            result.strategy = strategy
+            on_result(result)
+
+        def fail(error: Exception) -> None:
+            if done["fired"]:
+                return
+            done["fired"] = True
+            elapsed = self.client.scheduler.now - started
+            result.attempts.append(
+                ConnectOutcome(strategy, False, elapsed, detail=str(error))
+            )
+            if index + 1 < len(strategies):
+                self._run_phase(peer_id, strategies, index + 1, result, on_result)
+            else:  # pragma: no cover - relay cannot fail in-simulation
+                on_result(result)
+
+        if strategy == STRATEGY_PUNCH:
+            self._try_punch(peer_id, succeed, fail)
+        elif strategy == STRATEGY_TURN:
+            self.client.connect_via_turn(
+                peer_id,
+                on_session=lambda s: succeed(s, f"TURN pair via {s.peer_relay}"),
+                on_failure=fail,
+                timeout=self.phase_timeout,
+            )
+        elif strategy == STRATEGY_REVERSAL:
+            self.client.request_reversal(
+                peer_id,
+                on_stream=lambda s: succeed(s, f"reverse stream via {s.remote}"),
+                on_failure=fail,
+                timeout=self.phase_timeout,
+            )
+        else:
+            # §2.2: relaying needs no handshake — it rides the existing
+            # client/server connections, so it succeeds immediately.
+            relay = self.client.open_relay(peer_id, self.transport)
+            succeed(relay, "relayed via S")
+
+    def _try_punch(self, peer_id: int, succeed, fail) -> None:
+        import dataclasses
+
+        if self.transport == TRANSPORT_UDP:
+            config = dataclasses.replace(
+                self.client.punch_config, timeout=self.phase_timeout
+            )
+            self.client.connect_udp(
+                peer_id,
+                on_session=lambda s: succeed(s, f"locked {s.remote}"),
+                on_failure=fail,
+                config=config,
+            )
+        else:
+            config = dataclasses.replace(
+                self.client.tcp_punch_config, timeout=self.phase_timeout
+            )
+            self.client.connect_tcp(
+                peer_id,
+                on_stream=lambda s: succeed(s, f"stream via {s.remote}"),
+                on_failure=fail,
+                config=config,
+            )

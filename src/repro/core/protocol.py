@@ -1,0 +1,590 @@
+"""Binary wire protocol for rendezvous, punching, relaying, and reversal.
+
+Every message is ``header (4 bytes) + body``:
+
+    magic   u8 = 0x5A
+    version u8 = 1
+    type    u8
+    flags   u8   (bit 0: endpoints in the body are obfuscated)
+
+Endpoints are packed as 6 bytes (IP + port).  When the obfuscation flag is
+set, the IP halves are stored as their one's complement — the §3.1/§5.3
+defence against NATs that blindly translate address-like payload bytes.  The
+codec applies/removes the complement transparently, so application code
+always sees true endpoints.
+
+Over TCP, messages are framed with a u16 big-endian length prefix; use
+:class:`FrameBuffer` to reassemble a stream into messages.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Optional, Tuple, Type
+
+from repro.netsim.addresses import Endpoint
+from repro.util.errors import AddressError, ProtocolError
+
+MAGIC = 0x5A
+VERSION = 1
+FLAG_OBFUSCATED = 0x01
+
+HEADER = struct.Struct("!BBBB")
+U32 = struct.Struct("!I")
+U64 = struct.Struct("!Q")
+U16 = struct.Struct("!H")
+
+#: Transport selector carried in connect requests.
+TRANSPORT_UDP = 0
+TRANSPORT_TCP = 1
+
+
+def _pack_endpoint(ep: Endpoint, obfuscate: bool) -> bytes:
+    return (ep.obfuscated() if obfuscate else ep).pack()
+
+
+def _unpack_endpoint(data: bytes, obfuscated: bool) -> Endpoint:
+    ep = Endpoint.unpack(data)
+    return ep.obfuscated() if obfuscated else ep
+
+
+@dataclass
+class Message:
+    """Base class; concrete messages define TYPE and a field layout.
+
+    Field layout conventions (``_layout`` tuples): ``("name", "u8"|"u32"|
+    "u64"|"ep"|"bytes")``.  ``bytes`` must be last (consumes the remainder).
+    """
+
+    TYPE: ClassVar[int] = 0
+    _layout: ClassVar[Tuple[Tuple[str, str], ...]] = ()
+
+    def pack_body(self, obfuscate: bool) -> bytes:
+        parts: List[bytes] = []
+        for name, kind in self._layout:
+            value = getattr(self, name)
+            if kind == "u8":
+                parts.append(struct.pack("!B", value))
+            elif kind == "u16":
+                parts.append(U16.pack(value))
+            elif kind == "u32":
+                parts.append(U32.pack(value))
+            elif kind == "u64":
+                parts.append(U64.pack(value))
+            elif kind == "ep":
+                parts.append(_pack_endpoint(value, obfuscate))
+            elif kind == "bytes":
+                parts.append(bytes(value))
+            else:  # pragma: no cover - layout typo guard
+                raise ProtocolError(f"unknown layout kind {kind!r}")
+        return b"".join(parts)
+
+    @classmethod
+    def unpack_body(cls, body: bytes, obfuscated: bool) -> "Message":
+        values = {}
+        offset = 0
+        for name, kind in cls._layout:
+            try:
+                if kind == "u8":
+                    values[name] = body[offset]
+                    offset += 1
+                elif kind == "u16":
+                    values[name] = U16.unpack_from(body, offset)[0]
+                    offset += 2
+                elif kind == "u32":
+                    values[name] = U32.unpack_from(body, offset)[0]
+                    offset += 4
+                elif kind == "u64":
+                    values[name] = U64.unpack_from(body, offset)[0]
+                    offset += 8
+                elif kind == "ep":
+                    values[name] = _unpack_endpoint(body[offset : offset + 6], obfuscated)
+                    offset += 6
+                elif kind == "bytes":
+                    values[name] = body[offset:]
+                    offset = len(body)
+            except (struct.error, IndexError, AddressError) as exc:
+                raise ProtocolError(f"truncated {cls.__name__} body") from exc
+        if offset != len(body):
+            raise ProtocolError(
+                f"{cls.__name__}: {len(body) - offset} trailing bytes"
+            )
+        return cls(**values)
+
+
+_REGISTRY: Dict[int, Type[Message]] = {}
+
+
+def _register(cls: Type[Message]) -> Type[Message]:
+    if cls.TYPE in _REGISTRY:  # pragma: no cover - development guard
+        raise ProtocolError(f"duplicate message type 0x{cls.TYPE:02x}")
+    _REGISTRY[cls.TYPE] = cls
+    return cls
+
+
+# -- rendezvous control ---------------------------------------------------------
+
+
+@_register
+@dataclass
+class Register(Message):
+    """Client -> S: register; body carries the client's *private* endpoint
+    (§3.1: the server learns the public endpoint from the packet source)."""
+
+    TYPE: ClassVar[int] = 0x01
+    _layout: ClassVar = (("client_id", "u32"), ("private_ep", "ep"))
+    client_id: int
+    private_ep: Endpoint
+
+
+@_register
+@dataclass
+class Registered(Message):
+    """S -> client: registration confirmed; echoes both endpoints."""
+
+    TYPE: ClassVar[int] = 0x02
+    _layout: ClassVar = (
+        ("client_id", "u32"),
+        ("public_ep", "ep"),
+        ("private_ep", "ep"),
+    )
+    client_id: int
+    public_ep: Endpoint
+    private_ep: Endpoint
+
+
+@_register
+@dataclass
+class ConnectRequest(Message):
+    """Client -> S: request help connecting to *target_id* (§3.2 step 1)."""
+
+    TYPE: ClassVar[int] = 0x03
+    _layout: ClassVar = (
+        ("requester_id", "u32"),
+        ("target_id", "u32"),
+        ("transport", "u8"),
+    )
+    requester_id: int
+    target_id: int
+    transport: int
+
+
+@_register
+@dataclass
+class PeerEndpoints(Message):
+    """S -> both clients: the other peer's public and private endpoints plus
+    the pairing nonce both sides use to authenticate punches (§3.2 step 2)."""
+
+    TYPE: ClassVar[int] = 0x04
+    _layout: ClassVar = (
+        ("peer_id", "u32"),
+        ("public_ep", "ep"),
+        ("private_ep", "ep"),
+        ("nonce", "u64"),
+        ("transport", "u8"),
+        ("role", "u8"),
+    )
+    peer_id: int
+    public_ep: Endpoint
+    private_ep: Endpoint
+    nonce: int
+    transport: int
+    role: int  # 0 = requester, 1 = requested peer
+
+    ROLE_REQUESTER: ClassVar[int] = 0
+    ROLE_RESPONDER: ClassVar[int] = 1
+
+
+@_register
+@dataclass
+class RendezvousError(Message):
+    """S -> client: a request failed (unknown peer, bad transport...)."""
+
+    TYPE: ClassVar[int] = 0x05
+    _layout: ClassVar = (("code", "u8"), ("detail", "bytes"))
+    code: int
+    detail: bytes = b""
+
+    UNKNOWN_PEER: ClassVar[int] = 1
+    NOT_REGISTERED: ClassVar[int] = 2
+    BAD_REQUEST: ClassVar[int] = 3
+
+    @property
+    def reason(self) -> str:
+        return self.detail.decode("utf-8", "replace")
+
+
+@_register
+@dataclass
+class Keepalive(Message):
+    """Client -> S: keep the registration's NAT mapping alive (§3.6)."""
+
+    TYPE: ClassVar[int] = 0x06
+    _layout: ClassVar = (("client_id", "u32"),)
+    client_id: int
+
+
+# -- punching ----------------------------------------------------------------------
+
+
+@_register
+@dataclass
+class Punch(Message):
+    """Peer -> peer: hole-punching probe, authenticated by the pairing nonce
+    (§3.4 — "applications must authenticate all messages ... to filter out
+    stray traffic")."""
+
+    TYPE: ClassVar[int] = 0x10
+    _layout: ClassVar = (("sender", "u32"), ("receiver", "u32"), ("nonce", "u64"))
+    sender: int
+    receiver: int
+    nonce: int
+
+
+@_register
+@dataclass
+class PunchAck(Message):
+    """Peer -> peer: valid response that lets the sender lock in an endpoint."""
+
+    TYPE: ClassVar[int] = 0x11
+    _layout: ClassVar = (("sender", "u32"), ("receiver", "u32"), ("nonce", "u64"))
+    sender: int
+    receiver: int
+    nonce: int
+
+
+@_register
+@dataclass
+class SessionData(Message):
+    """Peer -> peer application payload on an established UDP session."""
+
+    TYPE: ClassVar[int] = 0x12
+    _layout: ClassVar = (
+        ("sender", "u32"),
+        ("receiver", "u32"),
+        ("nonce", "u64"),
+        ("payload", "bytes"),
+    )
+    sender: int
+    receiver: int
+    nonce: int
+    payload: bytes = b""
+
+
+@_register
+@dataclass
+class SessionKeepalive(Message):
+    """Peer -> peer: keeps the punched UDP hole open (§3.6)."""
+
+    TYPE: ClassVar[int] = 0x13
+    _layout: ClassVar = (("sender", "u32"), ("receiver", "u32"), ("nonce", "u64"))
+    sender: int
+    receiver: int
+    nonce: int
+
+
+@_register
+@dataclass
+class SessionClose(Message):
+    """Peer -> peer: orderly end of a punched UDP session (lets the peer
+    stop keepalives immediately instead of detecting a dead hole)."""
+
+    TYPE: ClassVar[int] = 0x14
+    _layout: ClassVar = (("sender", "u32"), ("receiver", "u32"), ("nonce", "u64"))
+    sender: int
+    receiver: int
+    nonce: int
+
+
+# -- TCP stream authentication (§4.2 step 5) ----------------------------------------
+
+
+@_register
+@dataclass
+class Hello(Message):
+    """First message on a fresh peer-to-peer TCP stream: proves identity."""
+
+    TYPE: ClassVar[int] = 0x20
+    _layout: ClassVar = (("sender", "u32"), ("receiver", "u32"), ("nonce", "u64"))
+    sender: int
+    receiver: int
+    nonce: int
+
+
+@_register
+@dataclass
+class StreamSelect(Message):
+    """Controlling side -> controlled side: use this stream (when several
+    authenticated streams raced, e.g. private + hairpin paths)."""
+
+    TYPE: ClassVar[int] = 0x22
+    _layout: ClassVar = (("sender", "u32"), ("receiver", "u32"), ("nonce", "u64"))
+    sender: int
+    receiver: int
+    nonce: int
+
+
+@_register
+@dataclass
+class StreamData(Message):
+    """Application payload on an established peer-to-peer TCP stream."""
+
+    TYPE: ClassVar[int] = 0x23
+    _layout: ClassVar = (("sender", "u32"), ("payload", "bytes"))
+    sender: int
+    payload: bytes = b""
+
+
+# -- relaying (§2.2) ------------------------------------------------------------------
+
+
+@_register
+@dataclass
+class RelayPayload(Message):
+    """Client -> S -> client: one relayed application datagram.
+
+    ``sender``/``target`` are client ids; S rewrites nothing but the routing.
+    """
+
+    TYPE: ClassVar[int] = 0x30
+    _layout: ClassVar = (
+        ("sender", "u32"),
+        ("target", "u32"),
+        ("payload", "bytes"),
+    )
+    sender: int
+    target: int
+    payload: bytes = b""
+
+
+# -- TURN-style relaying (§2.2 cites TURN as the secure relay design) ---------------------
+
+
+@_register
+@dataclass
+class TurnAllocate(Message):
+    """Client -> TURN server: allocate (or refresh) a relayed endpoint."""
+
+    TYPE: ClassVar[int] = 0x60
+    _layout: ClassVar = (("client_id", "u32"),)
+    client_id: int
+
+
+@_register
+@dataclass
+class TurnAllocated(Message):
+    """TURN server -> client: your relayed transport address."""
+
+    TYPE: ClassVar[int] = 0x61
+    _layout: ClassVar = (("client_id", "u32"), ("relay_ep", "ep"))
+    client_id: int
+    relay_ep: Endpoint
+
+
+@_register
+@dataclass
+class TurnSend(Message):
+    """Client -> TURN server: emit *payload* from my relay endpoint toward
+    *dest* (also installs a permission for *dest*)."""
+
+    TYPE: ClassVar[int] = 0x62
+    _layout: ClassVar = (("dest", "ep"), ("payload", "bytes"))
+    dest: Endpoint
+    payload: bytes = b""
+
+
+@_register
+@dataclass
+class TurnData(Message):
+    """TURN server -> client: *payload* arrived at your relay endpoint."""
+
+    TYPE: ClassVar[int] = 0x63
+    _layout: ClassVar = (("src", "ep"), ("payload", "bytes"))
+    src: Endpoint
+    payload: bytes = b""
+
+
+@_register
+@dataclass
+class TurnExchange(Message):
+    """Client -> S -> peer: advertise my relayed transport address so the
+    peers can build a TURN-to-TURN channel (the fallback for NAT pairs no
+    punching variant can traverse)."""
+
+    TYPE: ClassVar[int] = 0x64
+    _layout: ClassVar = (
+        ("sender", "u32"),
+        ("target", "u32"),
+        ("relay_ep", "ep"),
+        ("nonce", "u64"),
+    )
+    sender: int
+    target: int
+    relay_ep: Endpoint
+    nonce: int
+
+
+# -- connection reversal (§2.3) ----------------------------------------------------------
+
+
+@_register
+@dataclass
+class ReverseRequest(Message):
+    """Client -> S: ask *target_id* to connect back to me."""
+
+    TYPE: ClassVar[int] = 0x40
+    _layout: ClassVar = (("requester_id", "u32"), ("target_id", "u32"))
+    requester_id: int
+    target_id: int
+
+
+@_register
+@dataclass
+class ReverseConnect(Message):
+    """S -> target: please open a TCP connection to this peer."""
+
+    TYPE: ClassVar[int] = 0x41
+    _layout: ClassVar = (
+        ("peer_id", "u32"),
+        ("public_ep", "ep"),
+        ("private_ep", "ep"),
+        ("nonce", "u64"),
+    )
+    peer_id: int
+    public_ep: Endpoint
+    private_ep: Endpoint
+    nonce: int
+
+
+@_register
+@dataclass
+class ReverseExpect(Message):
+    """S -> requester: the target was asked to connect back to you; expect a
+    stream authenticated with this nonce."""
+
+    TYPE: ClassVar[int] = 0x42
+    _layout: ClassVar = (("peer_id", "u32"), ("nonce", "u64"))
+    peer_id: int
+    nonce: int
+
+
+# -- sequential TCP hole punching (§4.5) ----------------------------------------------------
+
+
+@_register
+@dataclass
+class SeqRequest(Message):
+    """A -> S: start the NatTrav-style sequential procedure toward target."""
+
+    TYPE: ClassVar[int] = 0x50
+    _layout: ClassVar = (("requester_id", "u32"), ("target_id", "u32"))
+    requester_id: int
+    target_id: int
+
+
+@_register
+@dataclass
+class SeqConnect(Message):
+    """S -> B: step (2): connect to the requester's public endpoint (this
+    punches B's NAT), expect failure, then listen and report ready."""
+
+    TYPE: ClassVar[int] = 0x51
+    _layout: ClassVar = (
+        ("peer_id", "u32"),
+        ("public_ep", "ep"),
+        ("private_ep", "ep"),
+        ("nonce", "u64"),
+    )
+    peer_id: int
+    public_ep: Endpoint
+    private_ep: Endpoint
+    nonce: int
+
+
+@_register
+@dataclass
+class SeqReady(Message):
+    """S -> A: step (4): B is listening; connect to B's public endpoint now."""
+
+    TYPE: ClassVar[int] = 0x52
+    _layout: ClassVar = (
+        ("peer_id", "u32"),
+        ("public_ep", "ep"),
+        ("private_ep", "ep"),
+        ("nonce", "u64"),
+    )
+    peer_id: int
+    public_ep: Endpoint
+    private_ep: Endpoint
+    nonce: int
+
+
+# -- codec -------------------------------------------------------------------------------
+
+
+def encode(message: Message, obfuscate: bool = False) -> bytes:
+    """Serialize *message* (header + body)."""
+    flags = FLAG_OBFUSCATED if obfuscate else 0
+    return HEADER.pack(MAGIC, VERSION, message.TYPE, flags) + message.pack_body(obfuscate)
+
+
+def decode(data: bytes) -> Message:
+    """Parse one message; raises ProtocolError on garbage (stray traffic)."""
+    if len(data) < HEADER.size:
+        raise ProtocolError(f"short message ({len(data)} bytes)")
+    magic, version, msg_type, flags = HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:02x}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported version {version}")
+    cls = _REGISTRY.get(msg_type)
+    if cls is None:
+        raise ProtocolError(f"unknown message type 0x{msg_type:02x}")
+    return cls.unpack_body(data[HEADER.size :], bool(flags & FLAG_OBFUSCATED))
+
+
+def try_decode(data: bytes) -> Optional[Message]:
+    """decode() returning None instead of raising; for datagram demux paths
+    that must tolerate stray traffic (§3.4)."""
+    try:
+        return decode(data)
+    except ProtocolError:
+        return None
+
+
+def frame(message: Message, obfuscate: bool = False) -> bytes:
+    """Length-prefixed encoding for TCP streams."""
+    encoded = encode(message, obfuscate)
+    if len(encoded) > 0xFFFF:
+        raise ProtocolError(f"message too large to frame ({len(encoded)} bytes)")
+    return U16.pack(len(encoded)) + encoded
+
+
+class FrameBuffer:
+    """Reassembles a TCP byte stream into messages.
+
+    Feed arbitrary chunks; get back complete messages.  Garbage raises
+    ProtocolError from decode — callers on authenticated streams treat that
+    as a hostile/stray peer and drop the stream.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> List[Message]:
+        self._buffer.extend(chunk)
+        messages: List[Message] = []
+        while True:
+            if len(self._buffer) < 2:
+                return messages
+            length = U16.unpack_from(self._buffer)[0]
+            if len(self._buffer) < 2 + length:
+                return messages
+            raw = bytes(self._buffer[2 : 2 + length])
+            del self._buffer[: 2 + length]
+            messages.append(decode(raw))
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)

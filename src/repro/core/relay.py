@@ -1,0 +1,67 @@
+"""Relaying through the rendezvous server (paper §2.2).
+
+"Relaying always works as long as both clients can connect to the server" —
+at the cost of server bandwidth and extra latency.  A :class:`RelaySession`
+presents the same ``send`` / ``on_data`` surface as a punched
+:class:`~repro.core.udp_punch.UdpSession`, so applications (and the
+:mod:`~repro.core.connector` ladder) can fall back to it transparently.
+The server's ``relayed_bytes`` counter quantifies the §2.2 cost.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.protocol import RelayPayload, TRANSPORT_UDP
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import PeerClient
+
+
+class RelaySession:
+    """A peer-to-peer channel carried over the client/server connections.
+
+    Attributes:
+        peer_id: the other client.
+        transport: TRANSPORT_UDP or TRANSPORT_TCP — which registration (and
+            which server channel) carries the relayed payloads.
+        on_data: application callback for relayed payloads.
+    """
+
+    def __init__(self, client: "PeerClient", peer_id: int, transport: int = TRANSPORT_UDP) -> None:
+        self.client = client
+        self.peer_id = peer_id
+        self.transport = transport
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.closed = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def send(self, payload: bytes) -> None:
+        """Send *payload* to the peer via S."""
+        if self.closed:
+            raise ValueError("send on closed relay session")
+        self.bytes_sent += len(payload)
+        message = RelayPayload(
+            sender=self.client.client_id, target=self.peer_id, payload=payload
+        )
+        if self.transport == TRANSPORT_UDP:
+            self.client._send_server_udp(message)
+        else:
+            self.client._send_server_tcp(message)
+
+    def close(self) -> None:
+        """Detach from the client; idempotent.  (No server state to tear
+        down: S routes each payload independently.)"""
+        if self.closed:
+            return
+        self.closed = True
+        self.client._relay_closed(self)
+
+    def _handle(self, message: RelayPayload) -> None:
+        self.bytes_received += len(message.payload)
+        if self.on_data is not None:
+            self.on_data(message.payload)
+
+    def __repr__(self) -> str:
+        return f"RelaySession(peer={self.peer_id}, transport={self.transport})"

@@ -1,0 +1,404 @@
+"""The rendezvous server S (paper §3.1, §4.2).
+
+S is an ordinary public host.  For every registered client it records two
+endpoints: the *private* endpoint the client reports in its registration body
+and the *public* endpoint S observes as the packet source (UDP) or connection
+remote (TCP).  On a connect request it forwards both endpoints of each peer
+to the other, together with a pairing nonce the peers use to authenticate
+their punch traffic (§3.4).
+
+The same server also implements the fall-back strategies: relaying (§2.2),
+connection reversal (§2.3), and the signalling for sequential TCP hole
+punching (§4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core import protocol
+from repro.core.protocol import (
+    ConnectRequest,
+    FrameBuffer,
+    Keepalive,
+    Message,
+    PeerEndpoints,
+    Register,
+    Registered,
+    RelayPayload,
+    RendezvousError,
+    ReverseConnect,
+    ReverseExpect,
+    ReverseRequest,
+    SeqConnect,
+    SeqReady,
+    SeqRequest,
+    TurnExchange,
+    TRANSPORT_TCP,
+    TRANSPORT_UDP,
+)
+from repro.netsim.addresses import Endpoint
+from repro.netsim.node import Host
+from repro.transport.tcp import TcpConnection, TcpState
+from repro.util.errors import ProtocolError
+from repro.util.rng import SeededRng
+
+
+@dataclass
+class Registration:
+    """What S knows about one registered client (§3.1)."""
+
+    client_id: int
+    public_ep: Endpoint
+    private_ep: Endpoint
+    registered_at: float
+    last_seen: float
+    keepalives: int = 0
+
+    @property
+    def behind_nat(self) -> bool:
+        """Private and public endpoints differ => a NAT is on the path."""
+        return self.public_ep != self.private_ep
+
+
+class _ControlConnection:
+    """Server-side state of one client's TCP control connection."""
+
+    def __init__(self, server: "RendezvousServer", conn: TcpConnection) -> None:
+        self.server = server
+        self.conn = conn
+        self.buffer = FrameBuffer()
+        self.client_id: Optional[int] = None
+        conn.on_data = self._on_data
+        conn.on_close = self._on_close_event
+        conn.on_error = lambda _err: self._on_close_event()
+
+    def send(self, message: Message) -> None:
+        self.conn.send(protocol.frame(message, self.server.obfuscate))
+
+    def _on_data(self, data: bytes) -> None:
+        try:
+            messages = self.buffer.feed(data)
+        except ProtocolError:
+            self.conn.abort()
+            return
+        for message in messages:
+            self.server._dispatch_tcp(message, self)
+
+    def _on_close_event(self) -> None:
+        if self.client_id is not None:
+            self.server._tcp_conn_closed(self.client_id, self)
+        # Complete the teardown from our side so the 4-tuple frees up and the
+        # client can reconnect from the same local port (§4.5 re-registration).
+        if self.conn.state is not TcpState.CLOSED:
+            self.conn.abort()
+
+
+class RendezvousServer:
+    """The well-known server S, serving UDP and TCP on one port.
+
+    Args:
+        host: public simulated host to run on (must have a HostStack).
+        port: the well-known port (paper examples use 1234).
+        obfuscate: set to protect endpoint fields against payload-mangling
+            NATs (§5.3); clients must use the same setting.
+    """
+
+    def __init__(
+        self,
+        host: Host,
+        port: int = 1234,
+        obfuscate: bool = False,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.obfuscate = obfuscate
+        self._rng = rng or SeededRng(0, f"rendezvous/{host.name}")
+        stack = host.stack  # type: ignore[attr-defined]
+        self.endpoint = Endpoint(host.primary_ip, port)
+        self.udp_clients: Dict[int, Registration] = {}
+        self.tcp_clients: Dict[int, Registration] = {}
+        self._tcp_conns: Dict[int, _ControlConnection] = {}
+        self._udp = stack.udp.socket(port)
+        self._udp.on_datagram = self._on_udp
+        self._listener = stack.tcp.listen(port, on_accept=self._on_accept, reuse=True)
+        #: Stable pairing nonce per (pair, transport) so that retransmitted
+        #: connect requests (datagram loss, §3.2's asynchronous timing) keep
+        #: authenticating the same punch attempt.
+        self._pair_nonces: Dict[tuple, tuple] = {}
+        self.pair_nonce_ttl = 30.0
+        # metrics
+        self.connect_requests = 0
+        self.relayed_messages = 0
+        self.relayed_bytes = 0
+        self.errors_sent = 0
+
+    @property
+    def scheduler(self):
+        return self.host.scheduler
+
+    def registration(self, client_id: int, transport: int = TRANSPORT_UDP) -> Optional[Registration]:
+        table = self.udp_clients if transport == TRANSPORT_UDP else self.tcp_clients
+        return table.get(client_id)
+
+    # -- UDP side --------------------------------------------------------------
+
+    def _send_udp(self, message: Message, dest: Endpoint) -> None:
+        self._udp.sendto(protocol.encode(message, self.obfuscate), dest)
+
+    def _on_udp(self, data: bytes, src: Endpoint) -> None:
+        message = protocol.try_decode(data)
+        if message is None:
+            return  # stray traffic
+        now = self.scheduler.now
+        if isinstance(message, Register):
+            self.udp_clients[message.client_id] = Registration(
+                client_id=message.client_id,
+                public_ep=src,
+                private_ep=message.private_ep,
+                registered_at=now,
+                last_seen=now,
+            )
+            self._send_udp(
+                Registered(
+                    client_id=message.client_id,
+                    public_ep=src,
+                    private_ep=message.private_ep,
+                ),
+                src,
+            )
+        elif isinstance(message, Keepalive):
+            reg = self.udp_clients.get(message.client_id)
+            if reg is not None and reg.public_ep == src:
+                reg.last_seen = now
+                reg.keepalives += 1
+        elif isinstance(message, ConnectRequest):
+            self._handle_connect(message, reply_to=src)
+        elif isinstance(message, RelayPayload):
+            self._handle_relay(message, transport=TRANSPORT_UDP)
+        elif isinstance(message, TurnExchange):
+            target = self.udp_clients.get(message.target)
+            if target is not None:
+                self._send_to_client(target, message, TRANSPORT_UDP)
+        elif isinstance(message, ReverseRequest):
+            self._handle_reverse(message, reply_to=src)
+
+    # -- TCP side ---------------------------------------------------------------
+
+    def _on_accept(self, conn: TcpConnection) -> None:
+        _ControlConnection(self, conn)
+
+    def _dispatch_tcp(self, message: Message, control: _ControlConnection) -> None:
+        now = self.scheduler.now
+        if isinstance(message, Register):
+            control.client_id = message.client_id
+            self._tcp_conns[message.client_id] = control
+            self.tcp_clients[message.client_id] = Registration(
+                client_id=message.client_id,
+                public_ep=control.conn.remote,
+                private_ep=message.private_ep,
+                registered_at=now,
+                last_seen=now,
+            )
+            control.send(
+                Registered(
+                    client_id=message.client_id,
+                    public_ep=control.conn.remote,
+                    private_ep=message.private_ep,
+                )
+            )
+        elif isinstance(message, Keepalive):
+            reg = self.tcp_clients.get(message.client_id)
+            if reg is not None:
+                reg.last_seen = now
+                reg.keepalives += 1
+        elif isinstance(message, ConnectRequest):
+            self._handle_connect(message, control=control)
+        elif isinstance(message, RelayPayload):
+            self._handle_relay(message, transport=TRANSPORT_TCP)
+        elif isinstance(message, ReverseRequest):
+            self._handle_reverse(message, control=control)
+        elif isinstance(message, SeqRequest):
+            self._handle_seq_request(message, control)
+        elif isinstance(message, SeqReady):
+            self._handle_seq_ready(message, control)
+
+    def _tcp_conn_closed(self, client_id: int, control: _ControlConnection) -> None:
+        if self._tcp_conns.get(client_id) is control:
+            del self._tcp_conns[client_id]
+            # Registration data is kept: the paper's sequential procedure
+            # deliberately closes control connections mid-exchange (§4.5).
+
+    # -- request handling ------------------------------------------------------------
+
+    def _error(
+        self,
+        code: int,
+        detail: str,
+        reply_to: Optional[Endpoint] = None,
+        control: Optional[_ControlConnection] = None,
+    ) -> None:
+        self.errors_sent += 1
+        message = RendezvousError(code=code, detail=detail.encode())
+        if control is not None:
+            control.send(message)
+        elif reply_to is not None:
+            self._send_udp(message, reply_to)
+
+    def _handle_connect(
+        self,
+        request: ConnectRequest,
+        reply_to: Optional[Endpoint] = None,
+        control: Optional[_ControlConnection] = None,
+    ) -> None:
+        """§3.2 step 2: forward each peer's endpoints to the other."""
+        self.connect_requests += 1
+        transport = request.transport
+        table = self.udp_clients if transport == TRANSPORT_UDP else self.tcp_clients
+        requester = table.get(request.requester_id)
+        target = table.get(request.target_id)
+        if requester is None:
+            self._error(
+                RendezvousError.NOT_REGISTERED,
+                f"client {request.requester_id} not registered",
+                reply_to,
+                control,
+            )
+            return
+        if target is None:
+            self._error(
+                RendezvousError.UNKNOWN_PEER,
+                f"peer {request.target_id} not registered",
+                reply_to,
+                control,
+            )
+            return
+        nonce = self._pair_nonce(request.requester_id, request.target_id, transport)
+        to_requester = PeerEndpoints(
+            peer_id=target.client_id,
+            public_ep=target.public_ep,
+            private_ep=target.private_ep,
+            nonce=nonce,
+            transport=transport,
+            role=PeerEndpoints.ROLE_REQUESTER,
+        )
+        to_target = PeerEndpoints(
+            peer_id=requester.client_id,
+            public_ep=requester.public_ep,
+            private_ep=requester.private_ep,
+            nonce=nonce,
+            transport=transport,
+            role=PeerEndpoints.ROLE_RESPONDER,
+        )
+        self._send_to_client(requester, to_requester, transport, reply_to, control)
+        self._send_to_client(target, to_target, transport)
+
+    def _pair_nonce(self, id_a: int, id_b: int, transport: int) -> int:
+        key = (min(id_a, id_b), max(id_a, id_b), transport)
+        now = self.scheduler.now
+        cached = self._pair_nonces.get(key)
+        if cached is not None and now - cached[1] <= self.pair_nonce_ttl:
+            self._pair_nonces[key] = (cached[0], now)
+            return cached[0]
+        nonce = self._rng.nonce64()
+        self._pair_nonces[key] = (nonce, now)
+        return nonce
+
+    def _send_to_client(
+        self,
+        reg: Registration,
+        message: Message,
+        transport: int,
+        reply_to: Optional[Endpoint] = None,
+        control: Optional[_ControlConnection] = None,
+    ) -> None:
+        if transport == TRANSPORT_UDP:
+            self._send_udp(message, reply_to if reply_to is not None else reg.public_ep)
+            return
+        conn = self._tcp_conns.get(reg.client_id) if control is None else control
+        if conn is not None:
+            conn.send(message)
+
+    def _handle_relay(self, message: RelayPayload, transport: int) -> None:
+        """§2.2: forward the payload to the target over its own channel."""
+        table = self.udp_clients if transport == TRANSPORT_UDP else self.tcp_clients
+        target = table.get(message.target)
+        if target is None:
+            return
+        self.relayed_messages += 1
+        self.relayed_bytes += len(message.payload)
+        self._send_to_client(target, message, transport)
+
+    def _handle_reverse(
+        self,
+        request: ReverseRequest,
+        reply_to: Optional[Endpoint] = None,
+        control: Optional[_ControlConnection] = None,
+    ) -> None:
+        """§2.3: relay a connection-reversal request to the target."""
+        table = self.tcp_clients
+        requester = table.get(request.requester_id)
+        target = table.get(request.target_id)
+        if requester is None or target is None:
+            self._error(
+                RendezvousError.UNKNOWN_PEER,
+                "reversal peer not registered",
+                reply_to,
+                control,
+            )
+            return
+        nonce = self._rng.nonce64()
+        self._send_to_client(
+            requester,
+            ReverseExpect(peer_id=target.client_id, nonce=nonce),
+            TRANSPORT_TCP,
+            control=control,
+        )
+        self._send_to_client(
+            target,
+            ReverseConnect(
+                peer_id=requester.client_id,
+                public_ep=requester.public_ep,
+                private_ep=requester.private_ep,
+                nonce=nonce,
+            ),
+            TRANSPORT_TCP,
+        )
+
+    def _handle_seq_request(self, request: SeqRequest, control: _ControlConnection) -> None:
+        """§4.5 step 1: A asks to communicate; S tells B to punch toward A."""
+        requester = self.tcp_clients.get(request.requester_id)
+        target = self.tcp_clients.get(request.target_id)
+        if requester is None or target is None:
+            self._error(RendezvousError.UNKNOWN_PEER, "sequential peer not registered", control=control)
+            return
+        self._send_to_client(
+            target,
+            SeqConnect(
+                peer_id=requester.client_id,
+                public_ep=requester.public_ep,
+                private_ep=requester.private_ep,
+                nonce=self._rng.nonce64(),
+            ),
+            TRANSPORT_TCP,
+        )
+
+    def _handle_seq_ready(self, ready: SeqReady, control: _ControlConnection) -> None:
+        """§4.5 step 4: B is listening; signal A to connect to B."""
+        target = self.tcp_clients.get(ready.peer_id)  # the original requester A
+        sender_id = control.client_id
+        sender = self.tcp_clients.get(sender_id) if sender_id is not None else None
+        if target is None or sender is None:
+            return
+        self._send_to_client(
+            target,
+            SeqReady(
+                peer_id=sender.client_id,
+                public_ep=sender.public_ep,
+                private_ep=sender.private_ep,
+                nonce=ready.nonce,
+            ),
+            TRANSPORT_TCP,
+        )

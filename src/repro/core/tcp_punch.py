@@ -1,0 +1,413 @@
+"""Parallel TCP hole punching (paper §4.2-§4.4).
+
+From the **same local TCP port** used for the client's connection to S, the
+:class:`TcpHolePuncher` simultaneously:
+
+* keeps listening for incoming connections (the client's listen socket), and
+* makes asynchronous ``connect()`` attempts to the peer's public and private
+  endpoints,
+
+retrying attempts that fail with "connection reset" or "host unreachable"
+after a short delay (§4.2 step 4), ignoring "address in use" failures (the
+§4.3 listen-preferred behaviour), and authenticating every stream that comes
+up — whether it arrived via ``connect()`` or ``accept()`` — with the pairing
+nonce (§4.2 step 5).  The first authenticated stream wins; when several race
+(e.g. the private path and the hairpin path behind a common NAT), the
+requester picks one and announces it with ``StreamSelect`` so both sides
+converge on the same stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.core import protocol
+from repro.core.auth import message_is_from_peer
+from repro.core.protocol import FrameBuffer, Hello, StreamData, StreamSelect
+from repro.netsim.addresses import Endpoint
+from repro.netsim.clock import Timer
+from repro.transport.tcp import TcpConnection
+from repro.util.errors import ConnectionError_, ProtocolError, TimeoutError_
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import PeerClient
+
+
+@dataclass(frozen=True)
+class TcpPunchConfig:
+    """Timing knobs for TCP hole punching.
+
+    Attributes:
+        retry_delay: delay before re-trying a connect that failed with a
+            network error (§4.2 step 4 suggests "e.g., one second").
+        timeout: application-defined maximum for the whole punch.
+        auth_timeout: how long a fresh stream may stay unauthenticated
+            before being dropped (guards against wrong-host connections).
+        select_delay: settle window after the first authenticated stream
+            before the controlling side selects (lets a better/racing
+            stream finish authenticating).
+    """
+
+    retry_delay: float = 1.0
+    timeout: float = 30.0
+    auth_timeout: float = 4.0
+    select_delay: float = 0.25
+
+
+StreamHandler = Callable[["TcpStream"], None]
+FailureHandler = Callable[[Exception], None]
+
+
+class TcpStream:
+    """A framed, authenticated message stream over one TCP connection.
+
+    During punching the owning :class:`TcpHolePuncher` drives it; once
+    selected it is handed to the application, which uses :meth:`send`,
+    :attr:`on_data`, and :meth:`close`.
+    """
+
+    def __init__(self, client: "PeerClient", conn: TcpConnection, origin: str) -> None:
+        self.client = client
+        self.conn = conn
+        self.origin = origin  # "connect" | "accept"
+        self.buffer = FrameBuffer()
+        self.authenticated = False
+        self.hello_sent = False
+        self.peer_id: Optional[int] = None
+        self.nonce: Optional[int] = None
+        self.selected = False
+        self.closed = False
+        self._on_message: Optional[Callable[[protocol.Message], None]] = None
+        self._on_data: Optional[Callable[[bytes], None]] = None
+        self._pending_payloads: List[bytes] = []
+        self.on_close: Optional[Callable[[], None]] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        conn.on_data = self._feed
+        conn.on_close = self._closed_by_peer
+
+    # -- application API --------------------------------------------------------
+
+    @property
+    def remote(self) -> Endpoint:
+        return self.conn.remote
+
+    @property
+    def local(self) -> Endpoint:
+        return self.conn.local
+
+    def send(self, payload: bytes) -> None:
+        """Send application bytes (framed as StreamData)."""
+        self.bytes_sent += len(payload)
+        self._send_message(StreamData(sender=self.client.client_id, payload=payload))
+
+    @property
+    def on_data(self) -> Optional[Callable[[bytes], None]]:
+        return self._on_data
+
+    @on_data.setter
+    def on_data(self, callback: Optional[Callable[[bytes], None]]) -> None:
+        """Setting the handler drains payloads that raced ahead of it."""
+        self._on_data = callback
+        if callback is not None:
+            pending, self._pending_payloads = self._pending_payloads, []
+            for payload in pending:
+                callback(payload)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.conn.close()
+
+    def abort(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.conn.abort()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _send_message(self, message: protocol.Message) -> None:
+        self.conn.send(protocol.frame(message, self.client.obfuscate))
+
+    def send_hello(self, peer_id: int, nonce: int) -> None:
+        """Identify ourselves on a fresh stream (§4.2 step 5)."""
+        self.hello_sent = True
+        self._send_message(
+            Hello(sender=self.client.client_id, receiver=peer_id, nonce=nonce)
+        )
+
+    def _feed(self, data: bytes) -> None:
+        try:
+            messages = self.buffer.feed(data)
+        except ProtocolError:
+            # Garbage on a p2p stream: we connected to the wrong host (§4.2).
+            self.abort()
+            return
+        for message in messages:
+            self._dispatch(message)
+
+    def _dispatch(self, message: protocol.Message) -> None:
+        if isinstance(message, StreamData) and self.selected:
+            self.bytes_received += len(message.payload)
+            if self._on_data is not None:
+                self._on_data(message.payload)
+            else:
+                self._pending_payloads.append(message.payload)
+            return
+        if self._on_message is not None:
+            self._on_message(message)
+
+    def _closed_by_peer(self) -> None:
+        self.closed = True
+        if self.on_close is not None:
+            self.on_close()
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpStream({self.local} <-> {self.remote}, origin={self.origin}, "
+            f"auth={self.authenticated}, selected={self.selected})"
+        )
+
+
+class TcpHolePuncher:
+    """One in-flight parallel TCP hole punch toward a single peer (§4.2)."""
+
+    def __init__(
+        self,
+        client: "PeerClient",
+        peer_id: int,
+        nonce: int,
+        candidates: List[Endpoint],
+        controlling: bool,
+        on_stream: StreamHandler,
+        on_failure: Optional[FailureHandler],
+        config: TcpPunchConfig,
+    ) -> None:
+        self.client = client
+        self.peer_id = peer_id
+        self.nonce = nonce
+        seen = set()
+        self.candidates = [c for c in candidates if not (c in seen or seen.add(c))]
+        self.controlling = controlling
+        self.on_stream = on_stream
+        self.on_failure = on_failure
+        self.config = config
+        self.started_at = client.scheduler.now
+        self.finished = False
+        self.elapsed: Optional[float] = None
+        self.connect_attempts = 0
+        self.retries = 0
+        self.address_in_use_errors = 0
+        self.streams: List[TcpStream] = []
+        self.authenticated_streams: List[TcpStream] = []
+        self.winner: Optional[TcpStream] = None
+        self._deadline_timer: Optional[Timer] = None
+        self._select_timer: Optional[Timer] = None
+        self._retry_timers: List[Timer] = []
+        self._in_flight: List[TcpConnection] = []
+
+    def start(self) -> None:
+        """§4.2 step 3: connect to all candidates while listening."""
+        self._deadline_timer = self.client.scheduler.call_later(
+            self.config.timeout, self._on_deadline
+        )
+        # Adopt any already-accepted stream that authenticated for us while
+        # the endpoint exchange was still in flight.
+        for stream, hello in self.client._claim_parked_streams(self.peer_id, self.nonce):
+            self.offer_accepted(stream, hello)
+        for candidate in self.candidates:
+            self._attempt(candidate)
+
+    # -- outgoing attempts ---------------------------------------------------------
+
+    def _attempt(self, endpoint: Endpoint) -> None:
+        if self.finished:
+            return
+        self.connect_attempts += 1
+        try:
+            conn = self.client.tcp_stack.connect(
+                endpoint,
+                local_port=self.client.tcp_local_port,
+                reuse=True,
+                on_connected=lambda c, ep=endpoint: self._on_connected(c),
+                on_error=lambda err, ep=endpoint: self._on_connect_error(ep, err),
+            )
+        except ConnectionError_:
+            # 4-tuple momentarily occupied (e.g. TIME_WAIT from a previous
+            # attempt): retry after the standard delay.
+            self._schedule_retry(endpoint)
+            return
+        self._in_flight.append(conn)
+
+    def _on_connected(self, conn: TcpConnection) -> None:
+        if self.finished:
+            conn.abort()
+            return
+        stream = TcpStream(self.client, conn, origin="connect")
+        stream._on_message = lambda m, s=stream: self._stream_message(s, m)
+        self.streams.append(stream)
+        stream.send_hello(self.peer_id, self.nonce)
+        self._arm_auth_timeout(stream)
+
+    def _on_connect_error(self, endpoint: Endpoint, error: ConnectionError_) -> None:
+        if self.finished:
+            return
+        if error.reason == "address-in-use":
+            # §4.3: the listen socket claimed the session; the working stream
+            # arrives via accept().  Ignore this failure.
+            self.address_in_use_errors += 1
+            return
+        # "connection reset" / "host unreachable" / timeout: §4.2 step 4 —
+        # retry after a short delay up to the application-defined maximum.
+        self._schedule_retry(endpoint)
+
+    def _schedule_retry(self, endpoint: Endpoint) -> None:
+        remaining = (self.started_at + self.config.timeout) - self.client.scheduler.now
+        if remaining <= self.config.retry_delay:
+            return
+        self.retries += 1
+        self._retry_timers.append(
+            self.client.scheduler.call_later(self.config.retry_delay, self._attempt, endpoint)
+        )
+
+    # -- incoming streams ---------------------------------------------------------------
+
+    def adopt_unauthenticated(self, stream: TcpStream) -> None:
+        """Adopt a freshly accepted stream whose remote IP matches one of our
+        candidates, and Hello it proactively.
+
+        Needed when *both* stacks exhibit §4.3's listen-preferred behaviour:
+        the punched stream then surfaces via accept() on both ends, so unless
+        someone speaks first, neither side would identify itself.  If the
+        stream actually belongs to a different peer behind the same NAT, its
+        Hello will fail validation and the stream is dropped.
+        """
+        stream._on_message = lambda m, s=stream: self._stream_message(s, m)
+        self.streams.append(stream)
+        stream.send_hello(self.peer_id, self.nonce)
+        self._arm_auth_timeout(stream)
+
+    def matches_remote(self, remote: Endpoint) -> bool:
+        """Heuristic candidate match for accepted streams (IP-level, because
+        hairpin translation may present a different port, §3.5)."""
+        return any(c.ip == remote.ip for c in self.candidates)
+
+    def offer_accepted(self, stream: TcpStream, hello: Hello) -> None:
+        """Client demux hands us an accepted stream whose Hello matched."""
+        stream._on_message = lambda m, s=stream: self._stream_message(s, m)
+        self.streams.append(stream)
+        stream.peer_id = self.peer_id
+        stream.nonce = self.nonce
+        stream.authenticated = True
+        if not stream.hello_sent:
+            stream.send_hello(self.peer_id, self.nonce)
+        self._stream_authenticated(stream)
+
+    # -- stream events --------------------------------------------------------------------
+
+    def _stream_message(self, stream: TcpStream, message: protocol.Message) -> None:
+        if isinstance(message, Hello):
+            if not message_is_from_peer(message, self.client.client_id, self.peer_id, self.nonce):
+                stream.abort()  # wrong host (§4.2 step 5): drop, keep waiting
+                return
+            stream.peer_id = self.peer_id
+            stream.nonce = self.nonce
+            if not stream.authenticated:
+                stream.authenticated = True
+                if not stream.hello_sent:
+                    stream.send_hello(self.peer_id, self.nonce)
+                self._stream_authenticated(stream)
+        elif isinstance(message, StreamSelect):
+            if not message_is_from_peer(message, self.client.client_id, self.peer_id, self.nonce):
+                return
+            self._deliver(stream)
+
+    def _stream_authenticated(self, stream: TcpStream) -> None:
+        if self.finished:
+            return
+        self.authenticated_streams.append(stream)
+        if self.controlling and self._select_timer is None:
+            self._select_timer = self.client.scheduler.call_later(
+                self.config.select_delay, self._do_select
+            )
+        # The controlled side waits for StreamSelect.
+
+    def _do_select(self) -> None:
+        if self.finished:
+            return
+        live = [s for s in self.authenticated_streams if not s.closed]
+        if not live:
+            self._select_timer = None
+            return  # all raced streams died; keep punching until deadline
+        winner = live[0]  # first authenticated stream (§4.2 step 5)
+        winner._send_message(
+            StreamSelect(sender=self.client.client_id, receiver=self.peer_id, nonce=self.nonce)
+        )
+        self._deliver(winner)
+
+    def _deliver(self, stream: TcpStream) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.elapsed = self.client.scheduler.now - self.started_at
+        self.winner = stream
+        stream.selected = True
+        self._cancel_timers()
+        self._abandon_in_flight(keep=stream.conn)
+        for other in self.streams:
+            if other is not stream and not other.closed:
+                other.abort()
+        self.client._tcp_puncher_finished(self)
+        self.on_stream(stream)
+
+    # -- timers / failure -------------------------------------------------------------------
+
+    def _arm_auth_timeout(self, stream: TcpStream) -> None:
+        def check() -> None:
+            if not stream.authenticated and not stream.closed and not self.finished:
+                stream.abort()
+
+        self.client.scheduler.call_later(self.config.auth_timeout, check)
+
+    def _on_deadline(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self._cancel_timers()
+        self._abandon_in_flight(keep=None)
+        for stream in self.streams:
+            if not stream.closed:
+                stream.abort()
+        self.client._tcp_puncher_finished(self)
+        if self.on_failure is not None:
+            self.on_failure(
+                TimeoutError_(
+                    f"TCP hole punch to peer {self.peer_id} timed out after "
+                    f"{self.config.timeout:.1f}s"
+                )
+            )
+
+    def _abandon_in_flight(self, keep) -> None:
+        """Tear down connect attempts that never completed (half-open
+        SYN_SENT sockets would otherwise keep retransmitting)."""
+        for conn in self._in_flight:
+            if conn is keep or conn.established:
+                continue
+            conn.close()  # quiet teardown for SYN_SENT/SYN_RCVD states
+
+    def _cancel_timers(self) -> None:
+        for timer in self._retry_timers:
+            timer.cancel()
+        if self._deadline_timer is not None:
+            self._deadline_timer.cancel()
+        if self._select_timer is not None:
+            self._select_timer.cancel()
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpHolePuncher(peer={self.peer_id}, controlling={self.controlling}, "
+            f"streams={len(self.streams)}, winner={self.winner is not None})"
+        )

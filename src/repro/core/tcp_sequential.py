@@ -1,0 +1,210 @@
+"""Sequential TCP hole punching — the NatTrav variant (paper §4.5).
+
+Instead of punching in parallel, the peers take turns:
+
+1. A tells S (SeqRequest) it wants to reach B, *without* listening;
+2. B makes a doomed ``connect()`` to A's public endpoint — the SYN opens a
+   hole in B's NAT, then fails (timeout, or RST from A's NAT);
+3. B abandons the attempt, listens on its local port, and signals readiness
+   (the original NatTrav signalled by closing its connection to S; we send
+   an explicit SeqReady *and* consume the control connections afterwards to
+   preserve the paper's resource accounting);
+4. A connects to B's public endpoint, which now passes through B's punched
+   hole, and the peers authenticate.
+
+The paper's critique — timing sensitivity and consuming both clients'
+connections to S — is measurable here: ``punch_delay`` is the §4.5
+"doomed-to-fail attempt must last long enough for the SYN to traverse"
+knob, and :attr:`PeerClient.control_reconnects` counts consumed connections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.core.protocol import Hello, SeqConnect, SeqReady, SeqRequest
+from repro.core.tcp_punch import TcpStream
+from repro.netsim.clock import Timer
+from repro.util.errors import ConnectionError_, TimeoutError_
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import PeerClient
+
+StreamHandler = Callable[[TcpStream], None]
+FailureHandler = Callable[[Exception], None]
+
+
+@dataclass(frozen=True)
+class SequentialConfig:
+    """Timing for the sequential procedure.
+
+    Attributes:
+        punch_delay: how long B lets its doomed connect run before giving up
+            and listening (§4.5: "too little delay risks a lost SYN derailing
+            the process, whereas too much delay increases the total time").
+        timeout: overall deadline for the requester.
+        consume_control: reproduce NatTrav's consumption of both clients'
+            connections to S (close + reconnect after the punch).
+    """
+
+    punch_delay: float = 0.6
+    timeout: float = 30.0
+    consume_control: bool = True
+
+
+class SequentialRequester:
+    """A's side of §4.5: request, wait for SeqReady, then dial B."""
+
+    def __init__(
+        self,
+        client: "PeerClient",
+        target_id: int,
+        on_stream: StreamHandler,
+        on_failure: Optional[FailureHandler],
+        config: SequentialConfig,
+    ) -> None:
+        self.client = client
+        self.target_id = target_id
+        self.on_stream = on_stream
+        self.on_failure = on_failure
+        self.config = config
+        self.started_at = client.scheduler.now
+        self.finished = False
+        self.elapsed: Optional[float] = None
+        self.stream: Optional[TcpStream] = None
+        self._nonce: Optional[int] = None
+        self._timer: Timer = client.scheduler.call_later(config.timeout, self._fail_timeout)
+
+    def start(self) -> None:
+        self.client._send_server_tcp(
+            SeqRequest(requester_id=self.client.client_id, target_id=self.target_id)
+        )
+
+    def handle_ready(self, ready: SeqReady) -> None:
+        """Step 4: B is listening behind its punched hole — dial it."""
+        if self.finished:
+            return
+        self._nonce = ready.nonce
+        self.client.tcp_stack.connect(
+            ready.public_ep,
+            local_port=self.client.tcp_local_port,
+            reuse=True,
+            on_connected=self._on_connected,
+            on_error=self._on_error,
+        )
+
+    def _on_connected(self, conn) -> None:
+        stream = TcpStream(self.client, conn, origin="connect")
+        stream._on_message = lambda m, s=stream: self._on_message(s, m)
+        stream.send_hello(self.target_id, self._nonce)
+
+    def _on_message(self, stream: TcpStream, message) -> None:
+        if not isinstance(message, Hello):
+            return
+        if (
+            message.sender != self.target_id
+            or message.receiver != self.client.client_id
+            or message.nonce != self._nonce
+        ):
+            stream.abort()
+            return
+        if self.finished:
+            return
+        self.finished = True
+        self.elapsed = self.client.scheduler.now - self.started_at
+        self._timer.cancel()
+        stream.authenticated = True
+        stream.peer_id = self.target_id
+        stream.nonce = self._nonce
+        stream.selected = True
+        self.stream = stream
+        self.client._sequential_finished(self)
+        if self.config.consume_control:
+            self.client._consume_control_connection()
+        self.on_stream(stream)
+
+    def _on_error(self, error: ConnectionError_) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self._timer.cancel()
+        self.client._sequential_finished(self)
+        if self.on_failure is not None:
+            self.on_failure(
+                ConnectionError_(
+                    error.reason,
+                    f"sequential punch dial to peer {self.target_id} failed: "
+                    f"{error.reason} (§4.5: the procedure is timing-dependent)",
+                )
+            )
+
+    def _fail_timeout(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self.client._sequential_finished(self)
+        if self.on_failure is not None:
+            self.on_failure(
+                TimeoutError_(f"sequential punch to peer {self.target_id} timed out")
+            )
+
+
+class SequentialResponder:
+    """B's side of §4.5: doomed connect, then listen and report ready."""
+
+    def __init__(self, client: "PeerClient", request: SeqConnect, config: SequentialConfig) -> None:
+        self.client = client
+        self.request = request
+        self.config = config
+        self.doomed_failed = False
+        # Step 2: the doomed-to-fail connect that punches B's own NAT.
+        self._doomed = client.tcp_stack.connect(
+            request.public_ep,
+            local_port=client.tcp_local_port,
+            reuse=True,
+            on_connected=self._unexpected_success,
+            on_error=self._doomed_error,
+        )
+        client.scheduler.call_later(config.punch_delay, self._go_ready)
+
+    def _doomed_error(self, error: ConnectionError_) -> None:
+        # Expected: RST from A's NAT, ICMP, or eventual timeout.
+        self.doomed_failed = True
+
+    def _unexpected_success(self, conn) -> None:
+        # A was not behind a NAT after all; the connection is real.  Treat it
+        # like any accepted stream: wait for Hello-based authentication.
+        stream = TcpStream(self.client, conn, origin="connect")
+        self.client._park_or_route_stream(stream)
+
+    def _go_ready(self) -> None:
+        """Step 3: abandon the attempt, listen, signal readiness."""
+        if self._doomed.established:
+            pass  # handled by _unexpected_success
+        elif not self.doomed_failed:
+            self._doomed.close()  # abandon the half-open attempt
+        # The client's listener on tcp_local_port is already active; claim
+        # the stream A is about to open.
+        self.client._register_stream_claimant(
+            self.request.peer_id, self.request.nonce, self._claim_stream
+        )
+        self.client._send_server_tcp(
+            SeqReady(
+                peer_id=self.request.peer_id,
+                public_ep=self.request.public_ep,
+                private_ep=self.request.private_ep,
+                nonce=self.request.nonce,
+            )
+        )
+
+    def _claim_stream(self, stream: TcpStream, hello: Hello) -> None:
+        stream.peer_id = self.request.peer_id
+        stream.nonce = self.request.nonce
+        stream.authenticated = True
+        if not stream.hello_sent:
+            stream.send_hello(self.request.peer_id, self.request.nonce)
+        stream.selected = True
+        if self.config.consume_control:
+            self.client._consume_control_connection()
+        self.client._deliver_incoming_stream(stream)

@@ -1,0 +1,343 @@
+"""A TURN-style relay server and client (paper §2.2).
+
+"The TURN protocol defines a method of implementing relaying in a relatively
+secure fashion" — the two properties that make TURN more than naive
+forwarding are reproduced here:
+
+* each client gets its own **relayed transport address** (a real UDP port on
+  the relay host), so peers address each other, not the relay service; and
+* inbound traffic is only forwarded if the client previously sent toward
+  that peer through the relay (**permissions**), mirroring the solicited-
+  traffic rule of NAT filtering.
+
+Allocations idle out after ``lifetime`` seconds unless refreshed by any
+control traffic from the owner — the same lazy-timer scheme NAT mappings
+use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core import protocol
+from repro.core.protocol import TurnAllocate, TurnAllocated, TurnData, TurnSend
+from repro.netsim.addresses import Endpoint
+from repro.netsim.clock import Timer
+from repro.netsim.node import Host
+
+DEFAULT_TURN_PORT = 3478
+DEFAULT_LIFETIME = 600.0
+
+
+class _Allocation:
+    """Server-side state for one client's relayed endpoint."""
+
+    def __init__(self, server: "TurnServer", owner: Endpoint, client_id: int) -> None:
+        self.server = server
+        self.owner = owner  # the client's (NAT-mapped) control source
+        self.client_id = client_id
+        self.relay_socket = server._stack.udp.socket(0)
+        self.relay_socket.on_datagram = self._inbound
+        self.permissions: Dict[Endpoint, bool] = {}
+        self.last_activity = server.scheduler.now
+        self.bytes_relayed_in = 0
+        self.bytes_relayed_out = 0
+        self._timer: Optional[Timer] = None
+        self._arm()
+
+    @property
+    def relay_endpoint(self) -> Endpoint:
+        return self.relay_socket.local
+
+    def touch(self) -> None:
+        self.last_activity = self.server.scheduler.now
+
+    def send(self, dest: Endpoint, payload: bytes) -> None:
+        """Emit *payload* from the relayed endpoint (installs permission)."""
+        self.touch()
+        self.permissions[dest] = True
+        self.bytes_relayed_out += len(payload)
+        self.relay_socket.sendto(payload, dest)
+
+    def _inbound(self, payload: bytes, src: Endpoint) -> None:
+        if self.server.require_permissions and src not in self.permissions:
+            self.server.rejected_inbound += 1
+            return
+        self.touch()
+        self.bytes_relayed_in += len(payload)
+        self.server._control.sendto(
+            protocol.encode(TurnData(src=src, payload=payload)), self.owner
+        )
+
+    def _arm(self) -> None:
+        self._timer = self.server.scheduler.call_at(
+            self.last_activity + self.server.lifetime, self._check_expiry
+        )
+
+    def _check_expiry(self) -> None:
+        idle = self.server.scheduler.now - self.last_activity
+        if idle + 1e-9 >= self.server.lifetime:
+            self.server._expire(self)
+            return
+        self._arm()
+
+    def close(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        self.relay_socket.close()
+
+
+class TurnServer:
+    """The relay server: one control socket, one relay socket per client."""
+
+    def __init__(
+        self,
+        host: Host,
+        port: int = DEFAULT_TURN_PORT,
+        lifetime: float = DEFAULT_LIFETIME,
+        require_permissions: bool = True,
+    ) -> None:
+        self.host = host
+        self.lifetime = lifetime
+        self.require_permissions = require_permissions
+        self._stack = host.stack  # type: ignore[attr-defined]
+        self._control = self._stack.udp.socket(port)
+        self._control.on_datagram = self._on_control
+        self.endpoint = Endpoint(host.primary_ip, port)
+        self.allocations: Dict[Endpoint, _Allocation] = {}
+        self.rejected_inbound = 0
+        self.allocations_created = 0
+        self.allocations_expired = 0
+
+    @property
+    def scheduler(self):
+        return self.host.scheduler
+
+    def _on_control(self, data: bytes, src: Endpoint) -> None:
+        message = protocol.try_decode(data)
+        if message is None:
+            return
+        if isinstance(message, TurnAllocate):
+            allocation = self.allocations.get(src)
+            if allocation is None:
+                allocation = _Allocation(self, src, message.client_id)
+                self.allocations[src] = allocation
+                self.allocations_created += 1
+            allocation.touch()
+            self._control.sendto(
+                protocol.encode(
+                    TurnAllocated(
+                        client_id=message.client_id,
+                        relay_ep=allocation.relay_endpoint,
+                    )
+                ),
+                src,
+            )
+        elif isinstance(message, TurnSend):
+            allocation = self.allocations.get(src)
+            if allocation is not None:
+                allocation.send(message.dest, message.payload)
+
+    def _expire(self, allocation: _Allocation) -> None:
+        if self.allocations.get(allocation.owner) is allocation:
+            del self.allocations[allocation.owner]
+            allocation.close()
+            self.allocations_expired += 1
+
+    @property
+    def total_relayed_bytes(self) -> int:
+        return sum(
+            a.bytes_relayed_in + a.bytes_relayed_out for a in self.allocations.values()
+        )
+
+
+class TurnClient:
+    """Client-side allocation handle.
+
+    Usage::
+
+        turn = TurnClient(host, server_endpoint, client_id=1)
+        turn.allocate(lambda relay_ep: ...)
+        turn.on_data = lambda src, payload: ...
+        turn.send(peer_relay_ep, b"hello")
+    """
+
+    def __init__(self, host: Host, server: Endpoint, client_id: int,
+                 refresh_interval: Optional[float] = None) -> None:
+        self.host = host
+        self.server = server
+        self.client_id = client_id
+        self._stack = host.stack  # type: ignore[attr-defined]
+        self.socket = self._stack.udp.socket(0)
+        self.socket.on_datagram = self._on_datagram
+        self.relay_endpoint: Optional[Endpoint] = None
+        self.on_data: Optional[Callable[[Endpoint, bytes], None]] = None
+        self._on_allocated: Optional[Callable[[Endpoint], None]] = None
+        self._refresh_interval = refresh_interval
+        self._refresh_timer: Optional[Timer] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    @property
+    def scheduler(self):
+        return self.host.scheduler
+
+    def allocate(self, on_allocated: Optional[Callable[[Endpoint], None]] = None) -> None:
+        """Request (or refresh) the relayed endpoint."""
+        self._on_allocated = on_allocated
+        self.socket.sendto(
+            protocol.encode(TurnAllocate(client_id=self.client_id)), self.server
+        )
+        if self._refresh_interval and self._refresh_timer is None:
+            self._schedule_refresh()
+
+    def _schedule_refresh(self) -> None:
+        self._refresh_timer = self.scheduler.call_later(
+            self._refresh_interval, self._refresh
+        )
+
+    def _refresh(self) -> None:
+        self.socket.sendto(
+            protocol.encode(TurnAllocate(client_id=self.client_id)), self.server
+        )
+        self._schedule_refresh()
+
+    def send(self, dest: Endpoint, payload: bytes) -> None:
+        """Relay *payload* to *dest* (usually a peer's relayed endpoint)."""
+        self.bytes_sent += len(payload)
+        self.socket.sendto(
+            protocol.encode(TurnSend(dest=dest, payload=payload)), self.server
+        )
+
+    def close(self) -> None:
+        if self._refresh_timer is not None:
+            self._refresh_timer.cancel()
+        self.socket.close()
+
+    def _on_datagram(self, data: bytes, src: Endpoint) -> None:
+        message = protocol.try_decode(data)
+        if isinstance(message, TurnAllocated) and message.client_id == self.client_id:
+            self.relay_endpoint = message.relay_ep
+            callback, self._on_allocated = self._on_allocated, None
+            if callback is not None:
+                callback(message.relay_ep)
+        elif isinstance(message, TurnData):
+            self.bytes_received += len(message.payload)
+            if self.on_data is not None:
+                self.on_data(message.src, message.payload)
+
+
+class TurnPairSession:
+    """A peer-to-peer channel where both directions traverse TURN relays.
+
+    Each side allocates its own relayed endpoint and sends toward the
+    *peer's* relayed endpoint; neither NAT ever sees unsolicited inbound
+    traffic, so the channel works across any NAT pair — including
+    double-symmetric, where every punching variant fails.  Messages carry
+    the usual (sender, receiver, nonce) authentication.
+    """
+
+    def __init__(
+        self,
+        client,
+        turn: TurnClient,
+        peer_id: int,
+        nonce: int,
+        peer_relay: Endpoint,
+        opener_interval: float = 0.5,
+        timeout: float = 10.0,
+    ) -> None:
+        from repro.core import protocol as _p
+
+        self._p = _p
+        self.client = client
+        self.turn = turn
+        self.peer_id = peer_id
+        self.nonce = nonce
+        self.peer_relay = peer_relay
+        self.established = False
+        self.closed = False
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_established: Optional[Callable[["TurnPairSession"], None]] = None
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._opener_interval = opener_interval
+        self._deadline = client.scheduler.now + timeout
+        self._send_opener()
+
+    @property
+    def alive(self) -> bool:
+        return self.established and not self.closed
+
+    def _send_opener(self) -> None:
+        """Keepalive pings install the TURN permission for the peer's relay
+        and double as the establishment handshake."""
+        if self.closed or self.established:
+            return
+        if self.client.scheduler.now > self._deadline:
+            return
+        self.turn.send(
+            self.peer_relay,
+            self._p.encode(
+                self._p.SessionKeepalive(
+                    sender=self.client.client_id,
+                    receiver=self.peer_id,
+                    nonce=self.nonce,
+                )
+            ),
+        )
+        self.client.scheduler.call_later(self._opener_interval, self._send_opener)
+
+    def send(self, payload: bytes) -> None:
+        """Send application data via both relays."""
+        if self.closed:
+            raise ValueError("send on closed TURN pair session")
+        self.bytes_sent += len(payload)
+        self.turn.send(
+            self.peer_relay,
+            self._p.encode(
+                self._p.SessionData(
+                    sender=self.client.client_id,
+                    receiver=self.peer_id,
+                    nonce=self.nonce,
+                    payload=payload,
+                )
+            ),
+        )
+
+    def close(self) -> None:
+        self.closed = True
+
+    def _handle(self, message) -> None:
+        """A decoded message arrived at our relay from the peer's relay."""
+        if (
+            message.sender != self.peer_id
+            or message.receiver != self.client.client_id
+            or message.nonce != self.nonce
+        ):
+            return
+        if not self.established:
+            self.established = True
+            # Answer once more so the peer establishes too.
+            self.turn.send(
+                self.peer_relay,
+                self._p.encode(
+                    self._p.SessionKeepalive(
+                        sender=self.client.client_id,
+                        receiver=self.peer_id,
+                        nonce=self.nonce,
+                    )
+                ),
+            )
+            if self.on_established is not None:
+                self.on_established(self)
+        if isinstance(message, self._p.SessionData):
+            self.bytes_received += len(message.payload)
+            if self.on_data is not None:
+                self.on_data(message.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"TurnPairSession(peer={self.peer_id}, relay={self.peer_relay}, "
+            f"established={self.established})"
+        )

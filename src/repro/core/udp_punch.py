@@ -1,0 +1,377 @@
+"""UDP hole punching (paper §3).
+
+The :class:`UdpHolePuncher` implements §3.2's procedure: on receiving the
+peer's endpoints from S, start sending authenticated ``Punch`` probes to the
+peer's **public and private** endpoints simultaneously, answer every valid
+probe with a ``PunchAck``, and *lock in* the first endpoint that elicits a
+valid response.  The same code handles all three topologies of §3.3-§3.5
+without knowing which one applies — that automatic behaviour is the point of
+the technique.
+
+The :class:`UdpSession` it produces carries application data, sends
+keep-alives to hold the NAT hole open (§3.6), and detects a dead hole so the
+application can re-punch on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.core.auth import message_is_from_peer
+from repro.core.protocol import (
+    Punch,
+    PunchAck,
+    SessionClose,
+    SessionData,
+    SessionKeepalive,
+)
+from repro.netsim.addresses import Endpoint
+from repro.netsim.clock import Timer
+from repro.util.errors import TimeoutError_
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import PeerClient
+
+
+@dataclass(frozen=True)
+class PunchConfig:
+    """Timing knobs for UDP hole punching and session maintenance.
+
+    Attributes:
+        probe_interval: seconds between probe rounds to all candidates.
+        timeout: give up punching after this many seconds.
+        keepalive_interval: idle gap after which a session keep-alive is sent
+            (§3.6 — must undercut the NAT's UDP idle timeout).
+        broken_after_missed: consecutive missed keepalive intervals after
+            which the session is declared broken (triggering §3.6's
+            "re-run the hole punching procedure on demand").
+        predict_ports: §5.1's port-prediction trick for symmetric NATs with
+            predictable allocation: additionally probe the peer's public IP
+            at ports ``public.port + 1 .. public.port + predict_ports``,
+            guessing which port the peer's NAT will assign to the punch
+            session.  0 (default) disables it — the paper calls prediction
+            "chasing a moving target", useful but not a robust solution.
+    """
+
+    probe_interval: float = 0.25
+    timeout: float = 10.0
+    keepalive_interval: float = 15.0
+    broken_after_missed: int = 3
+    predict_ports: int = 0
+
+
+SessionHandler = Callable[["UdpSession"], None]
+FailureHandler = Callable[[Exception], None]
+
+
+class UdpSession:
+    """An established peer-to-peer UDP session.
+
+    Attributes:
+        remote: the locked-in endpoint for the peer (§3.2 step 3).
+        on_data: callback ``(payload: bytes)`` for application data.
+        on_broken: callback invoked once if the NAT hole dies (keepalives
+            unanswered); the application should re-punch on demand.
+    """
+
+    def __init__(
+        self,
+        client: "PeerClient",
+        peer_id: int,
+        nonce: int,
+        remote: Endpoint,
+        config: PunchConfig,
+    ) -> None:
+        self.client = client
+        self.peer_id = peer_id
+        self.nonce = nonce
+        self.remote = remote
+        self.config = config
+        self.established_at = client.scheduler.now
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_broken: Optional[Callable[[], None]] = None
+        self.on_closed_by_peer: Optional[Callable[[], None]] = None
+        self.closed = False
+        self.broken = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.keepalives_sent = 0
+        self._last_outbound = self.established_at
+        self._last_inbound = self.established_at
+        self._keepalive_timer: Optional[Timer] = None
+        if config.keepalive_interval > 0:
+            self._schedule_keepalive()
+
+    # -- application API ---------------------------------------------------------
+
+    def send(self, payload: bytes) -> None:
+        """Send application data over the punched hole."""
+        if self.closed:
+            raise TimeoutError_("send on closed UDP session")
+        self.bytes_sent += len(payload)
+        self._last_outbound = self.client.scheduler.now
+        self.client._send_peer(
+            SessionData(
+                sender=self.client.client_id,
+                receiver=self.peer_id,
+                nonce=self.nonce,
+                payload=payload,
+            ),
+            self.remote,
+        )
+
+    def close(self, notify_peer: bool = False) -> None:
+        """Stop keepalives and detach from the client; idempotent.
+
+        With ``notify_peer=True`` a ``SessionClose`` message tells the peer
+        to drop its side immediately instead of waiting for keepalive decay.
+        """
+        if self.closed:
+            return
+        if notify_peer:
+            self.client._send_peer(
+                SessionClose(
+                    sender=self.client.client_id,
+                    receiver=self.peer_id,
+                    nonce=self.nonce,
+                ),
+                self.remote,
+            )
+        self.closed = True
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+        self.client._session_closed(self)
+
+    @property
+    def alive(self) -> bool:
+        return not self.closed and not self.broken
+
+    # -- keepalives (§3.6) -----------------------------------------------------------
+
+    def _schedule_keepalive(self) -> None:
+        self._keepalive_timer = self.client.scheduler.call_later(
+            self.config.keepalive_interval, self._keepalive_tick
+        )
+
+    def _keepalive_tick(self) -> None:
+        if self.closed:
+            return
+        now = self.client.scheduler.now
+        silent_for = now - self._last_inbound
+        if silent_for > self.config.keepalive_interval * self.config.broken_after_missed:
+            self._mark_broken()
+            return
+        if now - self._last_outbound >= self.config.keepalive_interval - 1e-9:
+            self.keepalives_sent += 1
+            self._last_outbound = now
+            self.client._send_peer(
+                SessionKeepalive(
+                    sender=self.client.client_id,
+                    receiver=self.peer_id,
+                    nonce=self.nonce,
+                ),
+                self.remote,
+            )
+        self._schedule_keepalive()
+
+    def _mark_broken(self) -> None:
+        """The hole died (e.g. NAT idle timeout outlived our keepalives)."""
+        self.broken = True
+        callback = self.on_broken
+        self.close()
+        if callback is not None:
+            callback()
+
+    # -- inbound ------------------------------------------------------------------
+
+    def _handle(self, message, src: Endpoint) -> None:
+        self._last_inbound = self.client.scheduler.now
+        if isinstance(message, SessionClose):
+            callback = self.on_closed_by_peer
+            self.close()
+            if callback is not None:
+                callback()
+            return
+        if isinstance(message, SessionData):
+            self.bytes_received += len(message.payload)
+            if self.on_data is not None:
+                self.on_data(message.payload)
+        elif isinstance(message, Punch):
+            # Peer re-punching (perhaps it saw the session die): ack so it
+            # can re-lock quickly.
+            self.client._send_peer(
+                PunchAck(
+                    sender=self.client.client_id,
+                    receiver=self.peer_id,
+                    nonce=self.nonce,
+                ),
+                src,
+            )
+        elif isinstance(message, SessionKeepalive):
+            # Echo a keepalive if we have been quiet: the sender needs an
+            # answer to distinguish "peer idle" from "hole dead" (§3.6).
+            now = self.client.scheduler.now
+            if now - self._last_outbound >= self.config.keepalive_interval / 2:
+                self._last_outbound = now
+                self.keepalives_sent += 1
+                self.client._send_peer(
+                    SessionKeepalive(
+                        sender=self.client.client_id,
+                        receiver=self.peer_id,
+                        nonce=self.nonce,
+                    ),
+                    self.remote,
+                )
+
+    def __repr__(self) -> str:
+        return f"UdpSession(peer={self.peer_id}, remote={self.remote}, alive={self.alive})"
+
+
+class UdpHolePuncher:
+    """One in-flight UDP hole punch toward a single peer (§3.2).
+
+    Created by :class:`~repro.core.client.PeerClient` when the endpoint
+    exchange completes; both the requester and the responder run the same
+    puncher ("the order and timing of these messages are not critical as
+    long as they are asynchronous").
+    """
+
+    def __init__(
+        self,
+        client: "PeerClient",
+        peer_id: int,
+        nonce: int,
+        candidates: List[Endpoint],
+        on_session: SessionHandler,
+        on_failure: Optional[FailureHandler],
+        config: PunchConfig,
+    ) -> None:
+        self.client = client
+        self.peer_id = peer_id
+        self.nonce = nonce
+        if config.predict_ports and candidates:
+            # §5.1 port prediction: the peer's NAT allocated `public.port`
+            # for its session with S; a sequential allocator will hand the
+            # punch session the next port(s).
+            public = candidates[0]
+            candidates = list(candidates) + [
+                Endpoint(public.ip, public.port + k)
+                for k in range(1, config.predict_ports + 1)
+                if public.port + k <= 0xFFFF
+            ]
+        # Dedup while preserving order: public first, then private (§3.2).
+        seen = set()
+        self.candidates = [c for c in candidates if not (c in seen or seen.add(c))]
+        self.on_session = on_session
+        self.on_failure = on_failure
+        self.config = config
+        self.started_at = client.scheduler.now
+        self.finished = False
+        self.probes_sent = 0
+        self.acks_received = 0
+        self.peer_reflexive_candidates = 0
+        self.locked_endpoint: Optional[Endpoint] = None
+        self.elapsed: Optional[float] = None
+        self._probe_timer: Optional[Timer] = None
+        self._deadline_timer: Optional[Timer] = None
+
+    def start(self) -> None:
+        """Begin probing all candidate endpoints (§3.2 step 3)."""
+        self._deadline_timer = self.client.scheduler.call_later(
+            self.config.timeout, self._on_deadline
+        )
+        self._probe_round()
+
+    def _probe_round(self) -> None:
+        if self.finished:
+            return
+        for candidate in self.candidates:
+            self.probes_sent += 1
+            self.client._send_peer(
+                Punch(
+                    sender=self.client.client_id,
+                    receiver=self.peer_id,
+                    nonce=self.nonce,
+                ),
+                candidate,
+            )
+        self._probe_timer = self.client.scheduler.call_later(
+            self.config.probe_interval, self._probe_round
+        )
+
+    # -- inbound -------------------------------------------------------------------
+
+    def handle(self, message, src: Endpoint) -> None:
+        """Process a punch-phase message attributed to this peer."""
+        if not message_is_from_peer(message, self.client.client_id, self.peer_id, self.nonce):
+            return  # stray or forged (§3.4): ignore robustly
+        if isinstance(message, Punch):
+            # Always answer valid probes, even after we locked (the peer may
+            # lock a different endpoint than we did — each direction is
+            # independent once both holes exist).
+            self.client._send_peer(
+                PunchAck(
+                    sender=self.client.client_id,
+                    receiver=self.peer_id,
+                    nonce=self.nonce,
+                ),
+                src,
+            )
+            if src not in self.candidates:
+                # Peer-reflexive discovery: a valid probe arriving from an
+                # endpoint S never told us about means the peer's NAT
+                # allocated a fresh mapping for this punch (it is symmetric,
+                # §5.1).  Probing that observed source is the only path that
+                # passes the peer NAT's filter — the trick ICE later named
+                # "peer-reflexive candidates".
+                self.candidates.append(src)
+                self.peer_reflexive_candidates += 1
+        elif isinstance(message, PunchAck):
+            self.acks_received += 1
+            self._lock_in(src)
+        elif isinstance(message, (SessionData, SessionKeepalive)):
+            # The peer already locked in and moved on: so can we.
+            self._lock_in(src, replay=message)
+
+    def _lock_in(self, endpoint: Endpoint, replay=None) -> None:
+        """§3.2 step 3: first endpoint that elicited a valid response wins."""
+        if self.finished:
+            return
+        self.finished = True
+        self.locked_endpoint = endpoint
+        self.elapsed = self.client.scheduler.now - self.started_at
+        self._cancel_timers()
+        session = UdpSession(
+            self.client, self.peer_id, self.nonce, endpoint, self.config
+        )
+        self.client._puncher_succeeded(self, session)
+        self.on_session(session)
+        if replay is not None:
+            session._handle(replay, endpoint)
+
+    def _on_deadline(self) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        self._cancel_timers()
+        self.client._puncher_failed(self)
+        if self.on_failure is not None:
+            self.on_failure(
+                TimeoutError_(
+                    f"UDP hole punch to peer {self.peer_id} timed out after "
+                    f"{self.config.timeout:.1f}s"
+                )
+            )
+
+    def _cancel_timers(self) -> None:
+        if self._probe_timer is not None:
+            self._probe_timer.cancel()
+        if self._deadline_timer is not None:
+            self._deadline_timer.cancel()
+
+    def __repr__(self) -> str:
+        return (
+            f"UdpHolePuncher(peer={self.peer_id}, candidates={self.candidates}, "
+            f"locked={self.locked_endpoint})"
+        )

@@ -1,0 +1,407 @@
+"""NAT devices: NAPT (the paper's default assumption) and Basic NAT.
+
+A :class:`NatDevice` is a router with one WAN interface and one or more LAN
+interfaces.  Traffic arriving on a LAN interface and routed toward the WAN is
+source-translated through the :class:`~repro.nat.mapping.NatTable`; traffic
+arriving on the WAN addressed to the NAT's public IP is destination-translated
+back — or refused per the configured policies.  Hairpin translation (§3.5)
+loops LAN-originated packets addressed to the NAT's own public endpoints back
+onto the LAN with **both** endpoints rewritten, exactly as the paper describes
+for NAT C in Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.netsim.addresses import AddressPool, Endpoint, IPv4Address, IPv4Network
+from repro.netsim.clock import Scheduler
+from repro.netsim.link import Link
+from repro.netsim.node import Interface, Router
+from repro.netsim.packet import (
+    IcmpType,
+    IpProtocol,
+    Packet,
+    TcpFlags,
+    icmp_error_for,
+    tcp_packet,
+)
+from repro.nat.behavior import NatBehavior
+from repro.nat.mapping import NatMapping, NatTable
+from repro.nat.policy import FilteringPolicy, MappingPolicy, TcpRefusalPolicy
+from repro.util.errors import RoutingError
+from repro.util.rng import SeededRng
+
+
+class NatDevice(Router):
+    """A NAPT device (outbound NAT translating entire session endpoints).
+
+    Wire it with :meth:`set_wan` (public side) and :meth:`add_lan` (private
+    side), then hosts on the LAN use the LAN interface IP as their default
+    gateway.
+
+    Statistics counters (``translations_out``, ``translations_in``,
+    ``inbound_refused``, ``hairpin_forwarded``, ...) feed the benches.
+    """
+
+    forwards_packets = True
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: Scheduler,
+        behavior: Optional[NatBehavior] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(name, scheduler)
+        self.behavior = behavior or NatBehavior()
+        self._rng = rng or SeededRng(0, f"nat/{name}")
+        self._wan_name: Optional[str] = None
+        self.table: Optional[NatTable] = None
+        self.lan_pool: Optional[AddressPool] = None
+        self.translations_out = 0
+        self.translations_in = 0
+        self.inbound_refused = 0
+        self.inbound_unmatched = 0
+        self.hairpin_forwarded = 0
+        self.hairpin_refused = 0
+        self.payloads_mangled = 0
+
+    # -- wiring -----------------------------------------------------------------
+
+    def set_wan(self, ip, network, link: Link, gateway=None) -> Interface:
+        """Attach the public-side interface and create the translation table."""
+        if self._wan_name is not None:
+            raise RoutingError(f"{self.name}: WAN already configured")
+        interface = self.add_interface("wan", ip, network, link)
+        self._wan_name = "wan"
+        if gateway is not None:
+            self.routing.add_default("wan", gateway)
+        self.table = NatTable(
+            scheduler=self.scheduler,
+            public_ip=interface.ip,
+            allocation=self.behavior.port_allocation,
+            port_base=self.behavior.port_base,
+            rng=self._rng.child("ports"),
+        )
+        return interface
+
+    def add_lan(self, ip, network, link: Link, name: str = "lan0") -> Interface:
+        """Attach a private-side interface; the NAT also plays DHCP server
+        for the realm via :attr:`lan_pool` (deterministic allocation, §3.4)."""
+        interface = self.add_interface(name, ip, network, link)
+        if self.lan_pool is None:
+            self.lan_pool = AddressPool(IPv4Network(network), reserved=[interface.ip])
+        return interface
+
+    @property
+    def wan_interface(self) -> Interface:
+        if self._wan_name is None:
+            raise RoutingError(f"{self.name}: WAN not configured")
+        return self.interfaces[self._wan_name]
+
+    @property
+    def public_ip(self) -> IPv4Address:
+        return self.wan_interface.ip
+
+    def allocate_lan_address(self) -> IPv4Address:
+        """Hand out the next private address (deterministic, like the
+        vendor-default DHCP pools the paper blames for collisions)."""
+        if self.lan_pool is None:
+            raise RoutingError(f"{self.name}: no LAN configured")
+        return self.lan_pool.allocate()
+
+    # -- data path ----------------------------------------------------------------
+
+    def receive(self, packet: Packet, link: Link) -> None:
+        self.packets_received += 1
+        arrival = self._interface_on(link)
+        if arrival is None:
+            self.packets_dropped += 1
+            return
+        if arrival.name == self._wan_name:
+            self._inbound(packet)
+        else:
+            self._from_lan(packet, arrival)
+
+    def _interface_on(self, link: Link) -> Optional[Interface]:
+        for interface in self.interfaces.values():
+            if interface.link is link:
+                return interface
+        return None
+
+    # -- outbound (LAN -> WAN) ------------------------------------------------------
+
+    def _from_lan(self, packet: Packet, arrival: Interface) -> None:
+        if packet.dst.ip == self.public_ip:
+            self._hairpin(packet)
+            return
+        route = self.routing.try_lookup(packet.dst.ip)
+        if route is None:
+            self.packets_dropped += 1
+            return
+        if route.interface != self._wan_name:
+            # LAN-to-LAN transit: plain forwarding, no translation.
+            self.forward(packet, arrival.link)
+            return
+        self._translate_outbound(packet)
+
+    def _effective_policy(self, proto: IpProtocol, private: Endpoint) -> MappingPolicy:
+        """Per-protocol policy, plus the §6.3 downgrade: same private port
+        used by two private hosts degrades translation to symmetric."""
+        if (
+            self.behavior.per_port_conflict_downgrade
+            and self.table.has_conflicting_private_port(private)
+        ):
+            return MappingPolicy.ADDRESS_AND_PORT_DEPENDENT
+        return self.behavior.mapping_for(proto)
+
+    def _obtain_mapping(self, proto: IpProtocol, private: Endpoint, remote: Endpoint) -> NatMapping:
+        policy = self._effective_policy(proto, private)
+        mapping = self.table.lookup_outbound(policy, proto, private, remote)
+        if mapping is None:
+            timeout = (
+                self.behavior.udp_timeout
+                if proto is IpProtocol.UDP
+                else self.behavior.tcp_established_timeout
+            )
+            mapping = self.table.create(policy, proto, private, remote, timeout)
+        return mapping
+
+    def _translate_outbound(self, packet: Packet) -> None:
+        if packet.proto is IpProtocol.ICMP:
+            self.forward(packet, self.wan_interface.link)
+            return
+        if packet.ttl <= 1:
+            self.packets_dropped += 1
+            return
+        mapping = self._obtain_mapping(packet.proto, packet.src, packet.dst)
+        mapping.note_outbound(packet.dst, self.scheduler.now)
+        translated = packet.copy()
+        translated.ttl = packet.ttl - 1
+        translated.src = mapping.public
+        if self.behavior.mangles_payload and translated.payload:
+            translated.payload = self._mangle(
+                translated.payload, packet.src.ip, mapping.public.ip
+            )
+        if packet.proto is IpProtocol.TCP:
+            mapping.observe_tcp_flags(packet.tcp.flags, outbound=True, now=self.scheduler.now)
+            if mapping.closing_since is not None:
+                self.table.schedule_close(mapping, self.behavior.tcp_close_linger)
+        self.translations_out += 1
+        self._emit(translated)
+
+    def _mangle(self, payload: bytes, private_ip: IPv4Address, public_ip: IPv4Address) -> bytes:
+        """§5.3: blindly rewrite 4-byte spans equal to the private source IP,
+        as a payload-scanning NAT would translate an embedded address."""
+        needle = private_ip.packed
+        if needle not in payload:
+            return payload
+        self.payloads_mangled += 1
+        return payload.replace(needle, public_ip.packed)
+
+    # -- inbound (WAN -> LAN) ------------------------------------------------------
+
+    def _inbound(self, packet: Packet) -> None:
+        if packet.dst.ip != self.public_ip:
+            # Transit traffic not addressed to us: plain routing (an ISP NAT
+            # also routes its public subnet).
+            self.forward(packet, self.wan_interface.link)
+            return
+        if packet.proto is IpProtocol.ICMP:
+            self._inbound_icmp(packet)
+            return
+        mapping = self.table.lookup_inbound(packet.proto, packet.dst.port)
+        if mapping is None:
+            self.inbound_unmatched += 1
+            self._refuse(packet)
+            return
+        if not self._filter_permits(mapping, packet.src):
+            self.inbound_refused += 1
+            self._refuse(packet)
+            return
+        self._deliver_inbound(packet, mapping)
+
+    def _filter_permits(self, mapping: NatMapping, remote: Endpoint) -> bool:
+        policy = self.behavior.filtering
+        if policy in (FilteringPolicy.NONE, FilteringPolicy.ENDPOINT_INDEPENDENT):
+            return True
+        now = session_timeout = None
+        if self.behavior.per_session_timers and mapping.proto is IpProtocol.UDP:
+            now = self.scheduler.now
+            session_timeout = self.behavior.udp_timeout
+        return mapping.permits(
+            remote,
+            by_port=policy is FilteringPolicy.ADDRESS_AND_PORT,
+            now=now,
+            session_timeout=session_timeout,
+        )
+
+    def _deliver_inbound(self, packet: Packet, mapping: NatMapping) -> None:
+        if packet.ttl <= 1:
+            self.packets_dropped += 1
+            return
+        mapping.note_inbound(
+            self.scheduler.now, self.behavior.refresh_on_inbound, remote=packet.src
+        )
+        translated = packet.copy()
+        translated.ttl = packet.ttl - 1
+        translated.dst = mapping.private
+        if packet.proto is IpProtocol.TCP:
+            mapping.observe_tcp_flags(packet.tcp.flags, outbound=False, now=self.scheduler.now)
+            if mapping.closing_since is not None:
+                self.table.schedule_close(mapping, self.behavior.tcp_close_linger)
+        self.translations_in += 1
+        self._emit(translated)
+
+    def _inbound_icmp(self, packet: Packet) -> None:
+        """Translate an ICMP error about one of our mapped sessions back to
+        the private host that owns the session."""
+        error = packet.icmp
+        mapping = self.table.lookup_inbound(error.original_proto, error.original_src.port)
+        if mapping is None or error.original_src != mapping.public:
+            self.inbound_unmatched += 1
+            return
+        translated = packet.copy()
+        translated.ttl = packet.ttl - 1
+        translated.dst = Endpoint(mapping.private.ip, 0)
+        translated.icmp.original_src = mapping.private
+        self.translations_in += 1
+        self._emit(translated)
+
+    # -- refusal (paper §5.2) --------------------------------------------------------
+
+    def _refuse(self, packet: Packet) -> None:
+        """Apply the unsolicited-traffic policy.  UDP is always dropped
+        silently; TCP SYNs may provoke a RST or ICMP error."""
+        if packet.proto is not IpProtocol.TCP or not packet.tcp.is_syn_only:
+            return
+        policy = self.behavior.tcp_refusal
+        if policy is TcpRefusalPolicy.RST:
+            rst = tcp_packet(
+                packet.dst,
+                packet.src,
+                TcpFlags.RST | TcpFlags.ACK,
+                seq=0,
+                ack=(packet.tcp.seq + 1) % (1 << 32),
+            )
+            self._emit(rst)
+        elif policy is TcpRefusalPolicy.ICMP:
+            self._emit(icmp_error_for(packet, IcmpType.ADMIN_PROHIBITED, self.public_ip))
+
+    # -- hairpin (paper §3.5 / §5.4) -----------------------------------------------------
+
+    def _hairpin(self, packet: Packet) -> None:
+        """LAN-originated packet addressed to one of our public endpoints."""
+        if packet.proto is IpProtocol.ICMP:
+            self.packets_dropped += 1
+            return
+        if not self.behavior.hairpin_for(packet.proto):
+            self.hairpin_refused += 1
+            self._refuse(packet)
+            return
+        dst_mapping = self.table.lookup_inbound(packet.proto, packet.dst.port)
+        if dst_mapping is None:
+            self.hairpin_refused += 1
+            self._refuse(packet)
+            return
+        # Source-translate the sender exactly as if the packet left the WAN.
+        src_mapping = self._obtain_mapping(packet.proto, packet.src, packet.dst)
+        src_mapping.note_outbound(packet.dst, self.scheduler.now)
+        if self.behavior.hairpin_filters and not self._filter_permits(
+            dst_mapping, src_mapping.public
+        ):
+            # §6.3: simplistic NATs treat traffic at public ports as untrusted
+            # regardless of origin.
+            self.hairpin_refused += 1
+            self._refuse(packet)
+            return
+        if packet.ttl <= 1:
+            self.packets_dropped += 1
+            return
+        dst_mapping.note_inbound(self.scheduler.now, self.behavior.refresh_on_inbound)
+        translated = packet.copy()
+        translated.ttl = packet.ttl - 1
+        translated.src = src_mapping.public
+        translated.dst = dst_mapping.private
+        if packet.proto is IpProtocol.TCP:
+            src_mapping.observe_tcp_flags(packet.tcp.flags, outbound=True, now=self.scheduler.now)
+            dst_mapping.observe_tcp_flags(packet.tcp.flags, outbound=False, now=self.scheduler.now)
+        self.hairpin_forwarded += 1
+        self._emit(translated)
+
+
+class BasicNatDevice(Router):
+    """Basic NAT (§2.1): translates IP addresses only, one public IP per
+    private host, ports untouched.
+
+    Rarely deployed next to NAPT but included for completeness; mapping is
+    created on first outbound packet and is endpoint-independent by nature.
+    """
+
+    forwards_packets = True
+
+    def __init__(
+        self,
+        name: str,
+        scheduler: Scheduler,
+        public_pool: AddressPool,
+    ) -> None:
+        super().__init__(name, scheduler)
+        self.public_pool = public_pool
+        self._wan_name: Optional[str] = None
+        self._priv_to_pub = {}
+        self._pub_to_priv = {}
+        self.translations_out = 0
+        self.translations_in = 0
+
+    def set_wan(self, ip, network, link: Link, gateway=None) -> Interface:
+        interface = self.add_interface("wan", ip, network, link)
+        self._wan_name = "wan"
+        if gateway is not None:
+            self.routing.add_default("wan", gateway)
+        return interface
+
+    def add_lan(self, ip, network, link: Link, name: str = "lan0") -> Interface:
+        return self.add_interface(name, ip, network, link)
+
+    def receive(self, packet: Packet, link: Link) -> None:
+        self.packets_received += 1
+        wan = self.interfaces.get(self._wan_name) if self._wan_name else None
+        if wan is not None and wan.link is link:
+            self._inbound(packet)
+        else:
+            self._outbound(packet)
+
+    def _outbound(self, packet: Packet) -> None:
+        if packet.ttl <= 1 or packet.proto is IpProtocol.ICMP:
+            self.packets_dropped += 1
+            return
+        private_ip = packet.src.ip
+        public_ip = self._priv_to_pub.get(private_ip)
+        if public_ip is None:
+            public_ip = self.public_pool.allocate()
+            self._priv_to_pub[private_ip] = public_ip
+            self._pub_to_priv[public_ip] = private_ip
+            # Answer for the new public address on the WAN segment.
+            self.wan_interface_link.attach(self, public_ip)
+        translated = packet.copy()
+        translated.ttl = packet.ttl - 1
+        translated.src = Endpoint(public_ip, packet.src.port)
+        self.translations_out += 1
+        self._emit(translated)
+
+    def _inbound(self, packet: Packet) -> None:
+        private_ip = self._pub_to_priv.get(packet.dst.ip)
+        if private_ip is None or packet.ttl <= 1:
+            self.packets_dropped += 1
+            return
+        translated = packet.copy()
+        translated.ttl = packet.ttl - 1
+        translated.dst = Endpoint(private_ip, packet.dst.port)
+        self.translations_in += 1
+        self._emit(translated)
+
+    @property
+    def wan_interface_link(self) -> Link:
+        return self.interfaces[self._wan_name].link

@@ -1,0 +1,294 @@
+"""NAT translation table: mappings, permitted-remote sets, and idle expiry.
+
+A :class:`NatMapping` binds one private endpoint (plus, for non-cone
+policies, a destination qualifier) to one public endpoint on the NAT.  The
+set of remote endpoints the private host has contacted outbound through the
+mapping drives inbound filtering; lazy timers (expiry checks rescheduled
+against ``last_activity``) implement UDP idle timeouts (§3.6) and TCP
+close-linger without per-packet timer churn.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.netsim.addresses import Endpoint, IPv4Address
+from repro.netsim.clock import Scheduler, Timer
+from repro.netsim.packet import IpProtocol, TcpFlags
+from repro.nat.policy import MappingPolicy, PortAllocation
+from repro.util.errors import AddressError
+from repro.util.rng import SeededRng
+
+# A mapping key: (proto, private endpoint, destination qualifier).  The
+# qualifier is None for cone NATs, the remote IP for address-dependent
+# mapping, and the full remote endpoint for symmetric mapping.
+MappingKey = Tuple[IpProtocol, Endpoint, Optional[object]]
+
+
+def mapping_key(
+    policy: MappingPolicy,
+    proto: IpProtocol,
+    private: Endpoint,
+    remote: Endpoint,
+) -> MappingKey:
+    """Build the table key for *policy* (§5.1)."""
+    if policy is MappingPolicy.ENDPOINT_INDEPENDENT:
+        return (proto, private, None)
+    if policy is MappingPolicy.ADDRESS_DEPENDENT:
+        return (proto, private, remote.ip)
+    return (proto, private, remote)
+
+
+class NatMapping:
+    """One live translation entry."""
+
+    def __init__(
+        self,
+        proto: IpProtocol,
+        private: Endpoint,
+        public: Endpoint,
+        key: MappingKey,
+        created_at: float,
+    ) -> None:
+        self.proto = proto
+        self.private = private
+        self.public = public
+        self.key = key
+        self.created_at = created_at
+        self.last_activity = created_at
+        #: Remote endpoints contacted outbound -> last activity time.  This
+        #: drives inbound filtering AND per-session idle expiry (§3.6: "many
+        #: NATs associate UDP idle timers with individual UDP sessions, so
+        #: sending keep-alives on one session will not keep other sessions
+        #: active").
+        self._remote_activity: Dict[Endpoint, float] = {}
+        # TCP lifetime observation (paper §4 intro: the TCP state machine
+        # gives NATs a standard way to learn session lifetime).
+        self.tcp_fin_outbound = False
+        self.tcp_fin_inbound = False
+        self.tcp_rst_seen = False
+        self.closing_since: Optional[float] = None
+        self.packets_out = 0
+        self.packets_in = 0
+
+    @property
+    def remotes(self) -> Set[Endpoint]:
+        """Remote endpoints contacted outbound through this mapping."""
+        return set(self._remote_activity)
+
+    def permits(
+        self,
+        remote: Endpoint,
+        by_port: bool,
+        now: Optional[float] = None,
+        session_timeout: Optional[float] = None,
+    ) -> bool:
+        """Inbound filter check against the permitted-remote set.
+
+        With *now* and *session_timeout* given, per-session idle expiry
+        applies (§3.6): a remote whose session has been idle longer than the
+        timeout no longer passes the filter even though the mapping lives.
+        """
+
+        def fresh(candidate: Endpoint) -> bool:
+            if now is None or session_timeout is None:
+                return True
+            return now - self._remote_activity[candidate] <= session_timeout
+
+        if by_port:
+            return remote in self._remote_activity and fresh(remote)
+        return any(
+            r.ip == remote.ip and fresh(r) for r in self._remote_activity
+        )
+
+    def note_outbound(self, remote: Endpoint, now: float) -> None:
+        self._remote_activity[remote] = now
+        self.last_activity = now
+        self.packets_out += 1
+
+    def note_inbound(self, now: float, refresh: bool, remote: Optional[Endpoint] = None) -> None:
+        self.packets_in += 1
+        if refresh:
+            self.last_activity = now
+            if remote is not None and remote in self._remote_activity:
+                self._remote_activity[remote] = now
+
+    def observe_tcp_flags(self, flags: TcpFlags, outbound: bool, now: float) -> None:
+        """Track close signals so the table can expire dead TCP sessions."""
+        if flags & TcpFlags.RST:
+            self.tcp_rst_seen = True
+            self.closing_since = now
+        if flags & TcpFlags.FIN:
+            if outbound:
+                self.tcp_fin_outbound = True
+            else:
+                self.tcp_fin_inbound = True
+            if self.tcp_fin_outbound and self.tcp_fin_inbound:
+                self.closing_since = now
+
+    def __repr__(self) -> str:
+        return (
+            f"NatMapping({self.proto.value} {self.private} => {self.public}, "
+            f"remotes={len(self.remotes)})"
+        )
+
+
+class NatTable:
+    """The translation table of one NAT device.
+
+    Owns port allocation on the NAT's public IP and lazy expiry timers.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        public_ip,
+        allocation: PortAllocation,
+        port_base: int,
+        rng: Optional[SeededRng] = None,
+        on_expire: Optional[Callable[[NatMapping], None]] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.public_ip = IPv4Address(public_ip)
+        self.allocation = allocation
+        self.port_base = port_base
+        self._rng = rng or SeededRng(0, "nat-table")
+        self._on_expire = on_expire
+        self._by_key: Dict[MappingKey, NatMapping] = {}
+        self._by_public: Dict[Tuple[IpProtocol, int], NatMapping] = {}
+        self._next_port = port_base
+        self._timers: Dict[MappingKey, Timer] = {}
+        self.mappings_created = 0
+        self.mappings_expired = 0
+
+    # -- port allocation -------------------------------------------------------
+
+    def _port_free(self, proto: IpProtocol, port: int) -> bool:
+        return (proto, port) not in self._by_public and 0 < port <= 0xFFFF
+
+    def _allocate_port(self, proto: IpProtocol, private: Endpoint) -> int:
+        if self.allocation is PortAllocation.PRESERVING and self._port_free(
+            proto, private.port
+        ):
+            return private.port
+        if self.allocation is PortAllocation.RANDOM:
+            for _ in range(4096):
+                port = self._rng.randint(1024, 65535)
+                if self._port_free(proto, port):
+                    return port
+            raise AddressError("NAT public ports exhausted (random)")
+        # SEQUENTIAL (also the PRESERVING fallback): the paper's NATs hand out
+        # 62000, 62001, ... predictably (§5.1 port prediction relies on this).
+        for _ in range(65536):
+            port = self._next_port
+            self._next_port += 1
+            if self._next_port > 65535:
+                self._next_port = 1024
+            if self._port_free(proto, port):
+                return port
+        raise AddressError("NAT public ports exhausted (sequential)")
+
+    # -- lookup / creation ----------------------------------------------------------
+
+    def lookup_outbound(
+        self,
+        policy: MappingPolicy,
+        proto: IpProtocol,
+        private: Endpoint,
+        remote: Endpoint,
+    ) -> Optional[NatMapping]:
+        return self._by_key.get(mapping_key(policy, proto, private, remote))
+
+    def create(
+        self,
+        policy: MappingPolicy,
+        proto: IpProtocol,
+        private: Endpoint,
+        remote: Endpoint,
+        idle_timeout: float,
+    ) -> NatMapping:
+        """Allocate a new mapping for an outbound session."""
+        key = mapping_key(policy, proto, private, remote)
+        port = self._allocate_port(proto, private)
+        mapping = NatMapping(
+            proto=proto,
+            private=private,
+            public=Endpoint(self.public_ip, port),
+            key=key,
+            created_at=self.scheduler.now,
+        )
+        self._by_key[key] = mapping
+        self._by_public[(proto, port)] = mapping
+        self.mappings_created += 1
+        self._arm_expiry(mapping, idle_timeout)
+        return mapping
+
+    def lookup_inbound(self, proto: IpProtocol, public_port: int) -> Optional[NatMapping]:
+        return self._by_public.get((proto, public_port))
+
+    def has_conflicting_private_port(self, private: Endpoint) -> bool:
+        """True if another private host already maps the same private port
+        (the §6.3 downgrade trigger)."""
+        return any(
+            m.private.port == private.port and m.private.ip != private.ip
+            for m in self._by_key.values()
+        )
+
+    # -- expiry ------------------------------------------------------------------
+
+    def _arm_expiry(self, mapping: NatMapping, idle_timeout: float) -> None:
+        deadline = mapping.last_activity + idle_timeout
+        existing = self._timers.get(mapping.key)
+        if existing is not None:
+            existing.cancel()
+        self._timers[mapping.key] = self.scheduler.call_at(
+            max(deadline, self.scheduler.now),
+            self._check_expiry,
+            mapping,
+            idle_timeout,
+        )
+
+    def _check_expiry(self, mapping: NatMapping, idle_timeout: float) -> None:
+        """Lazy expiry: if activity happened since arming, re-arm; else drop."""
+        if self._by_key.get(mapping.key) is not mapping:
+            return  # already removed
+        if mapping.closing_since is not None:
+            self.remove(mapping)
+            return
+        idle_for = self.scheduler.now - mapping.last_activity
+        if idle_for + 1e-9 >= idle_timeout:
+            self.remove(mapping)
+            self.mappings_expired += 1
+            return
+        self._arm_expiry(mapping, idle_timeout)
+
+    def schedule_close(self, mapping: NatMapping, linger: float) -> None:
+        """TCP session observed closing: drop the mapping after *linger*."""
+        timer = self._timers.get(mapping.key)
+        if timer is not None:
+            timer.cancel()
+        self._timers[mapping.key] = self.scheduler.call_later(
+            linger, self._close_now, mapping
+        )
+
+    def _close_now(self, mapping: NatMapping) -> None:
+        if self._by_key.get(mapping.key) is mapping:
+            self.remove(mapping)
+
+    def remove(self, mapping: NatMapping) -> None:
+        self._by_key.pop(mapping.key, None)
+        self._by_public.pop((mapping.proto, mapping.public.port), None)
+        timer = self._timers.pop(mapping.key, None)
+        if timer is not None:
+            timer.cancel()
+        if self._on_expire is not None:
+            self._on_expire(mapping)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def mappings(self) -> List[NatMapping]:
+        return list(self._by_key.values())
+
+    def __len__(self) -> int:
+        return len(self._by_key)

@@ -1,0 +1,30 @@
+"""NAT Check (paper §6): the measurement tool and the Table 1 fleet.
+
+NAT Check tests the two properties most crucial to hole punching — consistent
+endpoint translation (§5.1) and silent dropping of unsolicited TCP SYNs
+(§5.2) — plus hairpin translation (§5.4) and inbound filtering, using a
+client behind the NAT under test and three well-known public servers.
+"""
+
+from repro.natcheck.classify import NatCheckReport
+from repro.natcheck.client import NatCheckClient, NatCheckConfig
+from repro.natcheck.discovery import DiscoveryResult, NatDiscovery
+from repro.natcheck.fleet import FleetResult, VendorSpec, VENDOR_SPECS, run_fleet
+from repro.natcheck.servers import NatCheckServers
+from repro.natcheck.table import Table1Row, render_table1, table1_rows
+
+__all__ = [
+    "DiscoveryResult",
+    "NatDiscovery",
+    "NatCheckReport",
+    "NatCheckClient",
+    "NatCheckConfig",
+    "FleetResult",
+    "VendorSpec",
+    "VENDOR_SPECS",
+    "run_fleet",
+    "NatCheckServers",
+    "Table1Row",
+    "render_table1",
+    "table1_rows",
+]

@@ -1,0 +1,142 @@
+"""Table 1 rendering: per-vendor NAT support for UDP/TCP hole punching.
+
+`table1_rows` aggregates measured :class:`NatCheckReport` objects into the
+paper's rows; `render_table1` prints them in the paper's format, optionally
+side by side with the paper's published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.natcheck.classify import NatCheckReport
+
+#: The paper's published Table 1, for paper-vs-measured comparison:
+#: vendor -> (udp, udp_hairpin, tcp, tcp_hairpin) as (n, d) pairs.
+PAPER_TABLE1: Dict[str, Tuple[Tuple[int, int], ...]] = {
+    "Linksys": ((45, 46), (5, 42), (33, 38), (3, 38)),
+    "Netgear": ((31, 37), (3, 35), (19, 30), (0, 30)),
+    "D-Link": ((16, 21), (11, 21), (9, 19), (2, 19)),
+    "Draytek": ((2, 17), (3, 12), (2, 7), (0, 7)),
+    "Belkin": ((14, 14), (1, 14), (11, 11), (0, 11)),
+    "Cisco": ((12, 12), (3, 9), (6, 7), (2, 7)),
+    "SMC": ((12, 12), (3, 10), (8, 9), (2, 9)),
+    "ZyXEL": ((7, 9), (1, 8), (0, 7), (0, 7)),
+    "3Com": ((7, 7), (1, 7), (5, 6), (0, 6)),
+    "Windows": ((31, 33), (11, 32), (16, 31), (28, 31)),
+    "Linux": ((26, 32), (3, 25), (16, 24), (2, 24)),
+    "FreeBSD": ((7, 9), (3, 6), (2, 3), (1, 1)),
+    "All Vendors": ((310, 380), (80, 335), (184, 286), (37, 286)),
+}
+
+#: Vendors presented as NAT hardware vs OS-based NAT in the paper's layout.
+HARDWARE_VENDORS = (
+    "Linksys",
+    "Netgear",
+    "D-Link",
+    "Draytek",
+    "Belkin",
+    "Cisco",
+    "SMC",
+    "ZyXEL",
+    "3Com",
+)
+OS_VENDORS = ("Windows", "Linux", "FreeBSD")
+
+
+@dataclass
+class Table1Row:
+    """One aggregated row (counts measured by running NAT Check)."""
+
+    vendor: str
+    udp: Tuple[int, int]
+    udp_hairpin: Tuple[int, int]
+    tcp: Tuple[int, int]
+    tcp_hairpin: Tuple[int, int]
+
+    @staticmethod
+    def _fmt(count: Tuple[int, int]) -> str:
+        n, d = count
+        if d == 0:
+            return "-"
+        percent = int(100 * n / d + 0.5)  # round half up, as the paper does
+        return f"{n}/{d} ({percent}%)"
+
+    def cells(self) -> List[str]:
+        return [
+            self.vendor,
+            self._fmt(self.udp),
+            self._fmt(self.udp_hairpin),
+            self._fmt(self.tcp),
+            self._fmt(self.tcp_hairpin),
+        ]
+
+
+def _aggregate(reports: List[NatCheckReport]) -> Tuple[Tuple[int, int], ...]:
+    udp = (sum(1 for r in reports if r.udp_punch_ok), len(reports))
+    hp_reports = [r for r in reports if r.udp_hairpin is not None]
+    udp_hp = (sum(1 for r in hp_reports if r.udp_hairpin), len(hp_reports))
+    tcp_reports = [r for r in reports if r.tcp_tested]
+    tcp = (sum(1 for r in tcp_reports if r.tcp_punch_ok), len(tcp_reports))
+    tcp_hp_reports = [r for r in reports if r.tcp_hairpin is not None]
+    tcp_hp = (sum(1 for r in tcp_hp_reports if r.tcp_hairpin), len(tcp_hp_reports))
+    return udp, udp_hp, tcp, tcp_hp
+
+
+def table1_rows(reports_by_vendor: Dict[str, List[NatCheckReport]]) -> List[Table1Row]:
+    """Aggregate measured reports into Table 1 rows plus the totals row."""
+    rows = []
+    everything: List[NatCheckReport] = []
+    for vendor, reports in reports_by_vendor.items():
+        udp, udp_hp, tcp, tcp_hp = _aggregate(reports)
+        rows.append(Table1Row(vendor, udp, udp_hp, tcp, tcp_hp))
+        everything.extend(reports)
+    udp, udp_hp, tcp, tcp_hp = _aggregate(everything)
+    rows.append(Table1Row("All Vendors", udp, udp_hp, tcp, tcp_hp))
+    return rows
+
+
+def render_table1(
+    reports_by_vendor: Dict[str, List[NatCheckReport]],
+    compare_with_paper: bool = True,
+) -> str:
+    """Render the measured Table 1 (paper §6.2 format)."""
+    rows = table1_rows(reports_by_vendor)
+    header = ["NAT", "UDP punch", "UDP hairpin", "TCP punch", "TCP hairpin"]
+    lines = []
+    widths = [14, 16, 16, 16, 16]
+
+    def emit(cells: List[str]) -> None:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip())
+
+    emit(header)
+    emit(["-" * w for w in widths])
+    by_name = {row.vendor: row for row in rows}
+    ordered = [v for v in HARDWARE_VENDORS if v in by_name]
+    if ordered:
+        lines.append("NAT Hardware")
+        for vendor in ordered:
+            emit(by_name[vendor].cells())
+    os_rows = [v for v in OS_VENDORS if v in by_name]
+    if os_rows:
+        lines.append("OS-based NAT")
+        for vendor in os_rows:
+            emit(by_name[vendor].cells())
+    for row in rows:
+        if row.vendor in HARDWARE_VENDORS or row.vendor in OS_VENDORS:
+            continue
+        if row.vendor == "All Vendors":
+            continue
+        emit(row.cells())
+    emit(["-" * w for w in widths])
+    emit(by_name["All Vendors"].cells())
+    if compare_with_paper:
+        paper = PAPER_TABLE1["All Vendors"]
+        lines.append("")
+        lines.append(
+            "paper totals: UDP {} | UDP hairpin {} | TCP {} | TCP hairpin {}".format(
+                *(Table1Row._fmt(c) for c in paper)
+            )
+        )
+    return "\n".join(lines)

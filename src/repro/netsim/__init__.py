@@ -1,0 +1,49 @@
+"""Deterministic packet-level network simulator.
+
+This package is the substrate the paper's techniques run on: a virtual-time
+event scheduler (:mod:`repro.netsim.clock`), an IPv4 addressing model with
+public/private realms (:mod:`repro.netsim.addresses`), a packet model covering
+UDP, TCP, and ICMP (:mod:`repro.netsim.packet`), links with latency/jitter/loss
+(:mod:`repro.netsim.link`), hosts and routers with longest-prefix-match
+forwarding (:mod:`repro.netsim.node`, :mod:`repro.netsim.routing`), and a
+topology container (:mod:`repro.netsim.network`).
+"""
+
+from repro.netsim.addresses import (
+    Endpoint,
+    IPv4Address,
+    IPv4Network,
+    AddressPool,
+    is_private,
+)
+from repro.netsim.clock import Scheduler, Timer
+from repro.netsim.link import Link, LinkProfile
+from repro.netsim.network import Network
+from repro.netsim.node import Host, Node, Router
+from repro.netsim.packet import IcmpError, IpProtocol, Packet, TcpFlags, TcpHeader
+from repro.netsim.routing import RoutingTable
+from repro.netsim.trace import PacketTrace, TraceRecord
+
+__all__ = [
+    "Endpoint",
+    "IPv4Address",
+    "IPv4Network",
+    "AddressPool",
+    "is_private",
+    "Scheduler",
+    "Timer",
+    "Link",
+    "LinkProfile",
+    "Network",
+    "Host",
+    "Node",
+    "Router",
+    "IcmpError",
+    "IpProtocol",
+    "Packet",
+    "TcpFlags",
+    "TcpHeader",
+    "RoutingTable",
+    "PacketTrace",
+    "TraceRecord",
+]

@@ -1,0 +1,156 @@
+"""Virtual-time event scheduler.
+
+The whole simulation is single-threaded and deterministic: every delayed
+action (packet delivery, retransmission timer, NAT idle timeout, application
+timeout) is a :class:`Timer` on one :class:`Scheduler`.  Ties are broken by
+insertion order, so two events scheduled for the same instant fire in the
+order they were scheduled — a property several NAT-race tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Tuple
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    Instances are returned by :meth:`Scheduler.call_at` /
+    :meth:`Scheduler.call_later`; user code should never construct one.
+    """
+
+    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired")
+
+    def __init__(self, when: float, callback: Callable[..., Any], args: Tuple):
+        self.when = when
+        self._callback = callback
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; idempotent."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def active(self) -> bool:
+        """True while the timer is pending (not yet fired nor cancelled)."""
+        return not (self._cancelled or self._fired)
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fired = True
+        self._callback(*self._args)
+
+
+class Scheduler:
+    """A deterministic discrete-event scheduler with virtual time.
+
+    Time is a float in seconds and starts at 0.0.  Nothing advances the clock
+    except :meth:`step`, :meth:`run_until`, or :meth:`run`.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Tuple[float, int, Timer]] = []
+        self._sequence = itertools.count()
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of timers still in the heap (including cancelled ones)."""
+        return sum(1 for _, _, t in self._heap if t.active)
+
+    def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule *callback(*args)* at absolute time *when*.
+
+        Scheduling in the past raises ``ValueError`` — it would silently
+        reorder causality.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot schedule at t={when:.6f} before now={self._now:.6f}"
+            )
+        timer = Timer(when, callback, args)
+        heapq.heappush(self._heap, (when, next(self._sequence), timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule *callback(*args)* after *delay* seconds (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        return self.call_at(self._now + delay, callback, *args)
+
+    def step(self) -> bool:
+        """Fire the earliest pending event.  Returns False if none remain."""
+        while self._heap:
+            when, _, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = when
+            timer._fire()
+            return True
+        return False
+
+    def run_until(self, deadline: float) -> None:
+        """Run events with ``when <= deadline``; clock ends at *deadline*.
+
+        The clock is advanced to exactly *deadline* even if the last event is
+        earlier, so back-to-back ``run_until`` calls compose predictably.
+        """
+        if deadline < self._now:
+            raise ValueError(
+                f"deadline t={deadline:.6f} is before now={self._now:.6f}"
+            )
+        while self._heap:
+            when, _, timer = self._heap[0]
+            if when > deadline:
+                break
+            heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue
+            self._now = when
+            timer._fire()
+        self._now = deadline
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        """Run until the event heap drains.  Returns events fired.
+
+        *max_events* guards against livelock (e.g. two hosts ping-ponging
+        keep-alives forever); exceeding it raises ``RuntimeError``.
+        """
+        fired = 0
+        while self.step():
+            fired += 1
+            if fired > max_events:
+                raise RuntimeError(f"scheduler exceeded {max_events} events")
+        return fired
+
+    def run_while(self, predicate: Callable[[], bool], deadline: float) -> bool:
+        """Run while *predicate()* is true, up to *deadline*.
+
+        Returns True if the predicate became false (condition met), False if
+        the deadline was reached first.  Useful for "run until connected or
+        5 s elapse" patterns in tests and examples.
+        """
+        while predicate():
+            if not self._heap or self._heap[0][0] > deadline:
+                self._now = deadline
+                return False
+            self.step()
+        return True

@@ -1,0 +1,170 @@
+"""Links: L2 segments connecting node interfaces.
+
+A :class:`Link` models either a point-to-point wire or a small broadcast
+segment (a home LAN behind a NAT).  Delivery is next-hop-addressed: the
+sending node resolves the next-hop IP (its routing decision) and the link
+delivers to whichever attached interface owns that IP — an ARP-free
+simplification that preserves everything the paper's scenarios need,
+including "stray traffic reaches the wrong host with the same private IP"
+(§3.4): two *different* links can each have a host at 10.1.1.3.
+
+Latency, jitter, and loss come from a :class:`LinkProfile`; all randomness is
+drawn from the owning network's seeded RNG, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.netsim.addresses import IPv4Address
+from repro.netsim.clock import Scheduler
+from repro.netsim.packet import Packet
+from repro.util.rng import SeededRng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.netsim.node import Node
+    from repro.netsim.trace import PacketTrace
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Propagation characteristics of a link.
+
+    Attributes:
+        latency: one-way delay in seconds.
+        jitter: maximum extra uniform random delay in seconds.
+        loss: independent per-packet drop probability in [0, 1].
+        bandwidth_bps: serialization rate in bits/second; None = infinite.
+            With a finite rate the link models a FIFO transmit queue: each
+            packet occupies the wire for ``size*8/bandwidth`` seconds and
+            later packets wait their turn (this is what makes "relaying
+            consumes the server's bandwidth", §2.2, measurable).
+        max_queue_delay: tail-drop threshold — a packet that would wait
+            longer than this in the transmit queue is dropped.  None = an
+            unbounded queue.
+    """
+
+    latency: float = 0.010
+    jitter: float = 0.0
+    loss: float = 0.0
+    bandwidth_bps: Optional[float] = None
+    max_queue_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.jitter < 0:
+            raise ValueError("latency/jitter must be non-negative")
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"loss probability out of range: {self.loss}")
+        if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if self.max_queue_delay is not None and self.max_queue_delay < 0:
+            raise ValueError("max_queue_delay must be non-negative")
+
+
+#: Typical last-mile consumer link.
+CONSUMER_LINK = LinkProfile(latency=0.015, jitter=0.005)
+#: Low-latency LAN segment.
+LAN_LINK = LinkProfile(latency=0.0005)
+#: Well-connected server uplink.
+BACKBONE_LINK = LinkProfile(latency=0.005)
+
+
+class Link:
+    """An L2 segment with one or more attached node interfaces."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        name: str = "link",
+        profile: Optional[LinkProfile] = None,
+        rng: Optional[SeededRng] = None,
+        trace: Optional["PacketTrace"] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self.profile = profile or LinkProfile()
+        self._rng = rng or SeededRng(0, f"link/{name}")
+        self._trace = trace
+        self._attachments: List[Tuple["Node", IPv4Address]] = []
+        self._owner_index: Dict[IPv4Address, "Node"] = {}
+        self._busy_until = 0.0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.queue_drops = 0
+        self.bytes_sent = 0
+
+    def attach(self, node: "Node", ip) -> None:
+        """Attach *node*'s interface at *ip* to this segment."""
+        address = IPv4Address(ip)
+        if address in self._owner_index:
+            raise ValueError(f"duplicate IP {address} on link {self.name}")
+        self._attachments.append((node, address))
+        self._owner_index[address] = node
+
+    def detach(self, node: "Node") -> None:
+        """Remove every attachment belonging to *node*."""
+        self._attachments = [(n, ip) for n, ip in self._attachments if n is not node]
+        self._owner_index = {ip: n for n, ip in self._attachments}
+
+    @property
+    def attached_nodes(self) -> List["Node"]:
+        return [node for node, _ in self._attachments]
+
+    def owner_of(self, ip) -> Optional["Node"]:
+        """Node whose interface on this link owns *ip*, if any."""
+        return self._owner_index.get(IPv4Address(ip))
+
+    def transmit(self, packet: Packet, sender: "Node", next_hop_ip) -> bool:
+        """Send *packet* toward the attached interface owning *next_hop_ip*.
+
+        Returns True if delivery was scheduled; False if the next hop does not
+        exist on this segment or the packet was lost.  Both cases are silent
+        on the wire — exactly how a datagram to a non-existent private host
+        behaves in the paper's §3.4 scenario.
+        """
+        receiver = self._owner_index.get(IPv4Address(next_hop_ip))
+        if receiver is None or receiver is sender:
+            self.packets_dropped += 1
+            self._record(packet, sender, None, "no-next-hop")
+            return False
+        if self.profile.loss and self._rng.chance(self.profile.loss):
+            self.packets_dropped += 1
+            self._record(packet, sender, receiver, "lost")
+            return False
+        delay = self.profile.latency
+        if self.profile.jitter:
+            delay += self._rng.uniform(0.0, self.profile.jitter)
+        if self.profile.bandwidth_bps is not None:
+            now = self.scheduler.now
+            queue_wait = max(0.0, self._busy_until - now)
+            if (
+                self.profile.max_queue_delay is not None
+                and queue_wait > self.profile.max_queue_delay
+            ):
+                self.packets_dropped += 1
+                self.queue_drops += 1
+                self._record(packet, sender, receiver, "queue-drop")
+                return False
+            serialization = packet.size * 8 / self.profile.bandwidth_bps
+            self._busy_until = now + queue_wait + serialization
+            delay += queue_wait + serialization
+        self.packets_sent += 1
+        self.bytes_sent += packet.size
+        self._record(packet, sender, receiver, "sent")
+        self.scheduler.call_later(delay, receiver.receive, packet, self)
+        return True
+
+    def _record(self, packet: Packet, sender: "Node", receiver, event: str) -> None:
+        if self._trace is not None:
+            self._trace.record(
+                time=self.scheduler.now,
+                link=self.name,
+                sender=sender.name,
+                receiver=receiver.name if receiver is not None else None,
+                event=event,
+                packet=packet,
+            )
+
+    def __repr__(self) -> str:
+        return f"Link({self.name!r}, attached={len(self._attachments)})"

@@ -1,0 +1,117 @@
+"""Topology container: owns the scheduler, RNG, trace, nodes, and links."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.netsim.addresses import IPv4Network
+from repro.netsim.clock import Scheduler
+from repro.netsim.link import Link, LinkProfile
+from repro.netsim.node import Host, Node, Router
+from repro.netsim.trace import PacketTrace
+from repro.util.rng import SeededRng
+
+
+class Network:
+    """A simulated internetwork.
+
+    Typical construction (the paper's Figure 5 topology):
+
+        net = Network(seed=7)
+        backbone = net.create_link("backbone", LinkProfile(latency=0.005))
+        server = net.add_host("S", ip="18.181.0.31",
+                              network="18.181.0.0/16", link=backbone)
+        ... attach NAT devices and private hosts ...
+        net.run_until(5.0)
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.scheduler = Scheduler()
+        self.rng = SeededRng(seed, "network")
+        self.trace = PacketTrace(enabled=False)
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[str, Link] = {}
+        self._link_counter = 0
+
+    # -- construction --------------------------------------------------------
+
+    def create_link(self, name: Optional[str] = None, profile: Optional[LinkProfile] = None) -> Link:
+        """Create a new L2 segment."""
+        if name is None:
+            self._link_counter += 1
+            name = f"link{self._link_counter}"
+        if name in self.links:
+            raise ValueError(f"duplicate link name {name!r}")
+        link = Link(
+            self.scheduler,
+            name=name,
+            profile=profile,
+            rng=self.rng.child(f"link/{name}"),
+            trace=self.trace,
+        )
+        self.links[name] = link
+        return link
+
+    def add_node(self, node: Node) -> Node:
+        """Register an externally-constructed node (e.g. a NatDevice)."""
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def add_host(
+        self,
+        name: str,
+        ip=None,
+        network=None,
+        link: Optional[Link] = None,
+        gateway=None,
+    ) -> Host:
+        """Create and register a Host, optionally wiring its first interface."""
+        host = Host(name, self.scheduler)
+        self.add_node(host)
+        if ip is not None:
+            if network is None or link is None:
+                raise ValueError("add_host with ip= requires network= and link=")
+            host.add_interface("eth0", ip, IPv4Network(network), link)
+            if gateway is not None:
+                host.set_default_gateway(gateway)
+        return host
+
+    def add_router(self, name: str) -> Router:
+        """Create and register a plain Router (interfaces wired by caller)."""
+        router = Router(name, self.scheduler)
+        self.add_node(router)
+        return router
+
+    def host(self, name: str) -> Host:
+        node = self.nodes[name]
+        if not isinstance(node, Host):
+            raise TypeError(f"node {name!r} is a {type(node).__name__}, not a Host")
+        return node
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run_until(self, deadline: float) -> None:
+        self.scheduler.run_until(deadline)
+
+    def run_for(self, duration: float) -> None:
+        self.scheduler.run_until(self.scheduler.now + duration)
+
+    def run(self, max_events: int = 1_000_000) -> int:
+        return self.scheduler.run(max_events=max_events)
+
+    # -- introspection ---------------------------------------------------------
+
+    def total_packets_sent(self) -> int:
+        return sum(link.packets_sent for link in self.links.values())
+
+    def total_bytes_sent(self) -> int:
+        return sum(link.bytes_sent for link in self.links.values())
+
+    def __repr__(self) -> str:
+        return f"Network(nodes={len(self.nodes)}, links={len(self.links)}, t={self.now:.3f})"

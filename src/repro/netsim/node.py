@@ -1,0 +1,186 @@
+"""Nodes: hosts and routers.
+
+A :class:`Node` owns named interfaces, a routing table, and a receive path.
+:class:`Host` delivers locally-addressed packets to registered protocol
+handlers (the transport stacks in :mod:`repro.transport` register themselves);
+:class:`Router` additionally forwards transit packets.  NAT devices subclass
+``Router`` in :mod:`repro.nat.device` and interpose translation on both the
+forward and local-delivery paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.addresses import IPv4Address, IPv4Network
+from repro.netsim.clock import Scheduler
+from repro.netsim.link import Link
+from repro.netsim.packet import IpProtocol, Packet
+from repro.netsim.routing import Route, RoutingTable
+from repro.util.errors import RoutingError
+
+
+@dataclass
+class Interface:
+    """A node's attachment point: name, IP, on-link prefix, and segment."""
+
+    name: str
+    ip: IPv4Address
+    network: IPv4Network
+    link: Link
+
+
+class Node:
+    """Base class: interfaces + routing table + send/receive machinery."""
+
+    forwards_packets = False
+
+    def __init__(self, name: str, scheduler: Scheduler) -> None:
+        self.name = name
+        self.scheduler = scheduler
+        self.interfaces: Dict[str, Interface] = {}
+        self.routing = RoutingTable()
+        self._protocol_handlers: Dict[IpProtocol, Callable[[Packet], None]] = {}
+        self.packets_received = 0
+        self.packets_forwarded = 0
+        self.packets_dropped = 0
+
+    # -- topology wiring ---------------------------------------------------
+
+    def add_interface(self, name: str, ip, network, link: Link) -> Interface:
+        """Attach an interface and install the connected (on-link) route."""
+        if name in self.interfaces:
+            raise ValueError(f"{self.name}: duplicate interface {name!r}")
+        interface = Interface(
+            name=name, ip=IPv4Address(ip), network=IPv4Network(network), link=link
+        )
+        self.interfaces[name] = interface
+        link.attach(self, interface.ip)
+        self.routing.add(interface.network, name, next_hop=None)
+        return interface
+
+    def interface_for(self, ip) -> Optional[Interface]:
+        """The interface owning exactly *ip*, if any."""
+        address = IPv4Address(ip)
+        for interface in self.interfaces.values():
+            if interface.ip == address:
+                return interface
+        return None
+
+    @property
+    def addresses(self) -> List[IPv4Address]:
+        return [i.ip for i in self.interfaces.values()]
+
+    def owns_address(self, ip) -> bool:
+        return self.interface_for(ip) is not None
+
+    # -- protocol handlers ---------------------------------------------------
+
+    def register_protocol(self, proto: IpProtocol, handler: Callable[[Packet], None]) -> None:
+        """Register the local delivery handler for one transport protocol.
+
+        Transport stacks call this once at attach time; re-registration
+        replaces the handler (used by tests to interpose observers).
+        """
+        self._protocol_handlers[proto] = handler
+
+    # -- data path -----------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Originate *packet* from this node, routing by destination IP.
+
+        Loopback (destination is one of our own addresses) is delivered
+        immediately via the scheduler, preserving async semantics.
+        Returns True if the packet was handed to a link (or looped back).
+        """
+        if self.owns_address(packet.dst.ip):
+            self.scheduler.call_later(0.0, self.deliver_local, packet)
+            return True
+        return self._emit(packet)
+
+    def _emit(self, packet: Packet) -> bool:
+        """Route and transmit without the local-delivery check."""
+        route = self.routing.try_lookup(packet.dst.ip)
+        if route is None:
+            self.packets_dropped += 1
+            return False
+        interface = self.interfaces[route.interface]
+        next_hop = route.next_hop if route.next_hop is not None else packet.dst.ip
+        return interface.link.transmit(packet, self, next_hop)
+
+    def receive(self, packet: Packet, link: Link) -> None:
+        """Entry point for packets arriving from a link."""
+        self.packets_received += 1
+        if self.owns_address(packet.dst.ip):
+            self.deliver_local(packet)
+            return
+        if not self.forwards_packets:
+            self.packets_dropped += 1
+            return
+        self.forward(packet, link)
+
+    def deliver_local(self, packet: Packet) -> None:
+        """Hand a locally-addressed packet to the protocol handler."""
+        handler = self._protocol_handlers.get(packet.proto)
+        if handler is None:
+            self.packets_dropped += 1
+            return
+        handler(packet)
+
+    def forward(self, packet: Packet, in_link: Link) -> None:
+        """Transit forwarding (routers only); TTL-guarded."""
+        if packet.ttl <= 1:
+            self.packets_dropped += 1
+            return
+        forwarded = packet.copy()
+        forwarded.ttl = packet.ttl - 1
+        if self._emit(forwarded):
+            self.packets_forwarded += 1
+        else:
+            self.packets_dropped += 1
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, ifaces={list(self.interfaces)})"
+
+
+class Host(Node):
+    """An end host: terminates traffic, never forwards.
+
+    Transport stacks (UDP/TCP) attach themselves via
+    :meth:`Node.register_protocol`; see :class:`repro.transport.stack.HostStack`.
+    """
+
+    forwards_packets = False
+
+    @property
+    def primary_ip(self) -> IPv4Address:
+        """The IP of the first interface (hosts usually have exactly one)."""
+        if not self.interfaces:
+            raise RoutingError(f"host {self.name} has no interfaces")
+        return next(iter(self.interfaces.values())).ip
+
+    def set_default_gateway(self, gateway_ip, interface: Optional[str] = None) -> Route:
+        """Install the default route via *gateway_ip*.
+
+        If *interface* is omitted the gateway must be on-link of exactly one
+        interface.
+        """
+        gateway = IPv4Address(gateway_ip)
+        if interface is None:
+            candidates = [
+                i.name for i in self.interfaces.values() if gateway in i.network
+            ]
+            if len(candidates) != 1:
+                raise RoutingError(
+                    f"{self.name}: cannot infer interface for gateway {gateway} "
+                    f"(candidates: {candidates})"
+                )
+            interface = candidates[0]
+        return self.routing.add_default(interface, gateway)
+
+
+class Router(Node):
+    """A plain (non-translating) router."""
+
+    forwards_packets = True

@@ -1,0 +1,199 @@
+"""Packet model: IP header fields plus UDP / TCP / ICMP transport layers.
+
+A :class:`Packet` is a mutable value object (NATs rewrite its endpoints in
+place on copies).  TCP segments carry flags/seq/ack so the transport layer in
+:mod:`repro.transport.tcp` can implement the RFC 793 subset the paper's §4
+depends on, including simultaneous open.  ICMP is modelled only as the error
+messages a NAT may emit toward an unsolicited SYN (paper §5.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.netsim.addresses import Endpoint
+
+DEFAULT_TTL = 64
+
+_packet_ids = itertools.count(1)
+
+
+class IpProtocol(enum.Enum):
+    """Transport protocol carried by a packet."""
+
+    UDP = "udp"
+    TCP = "tcp"
+    ICMP = "icmp"
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP header flags (subset used by the state machine)."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    ACK = 0x10
+
+    def describe(self) -> str:
+        names = [flag.name for flag in (TcpFlags.SYN, TcpFlags.ACK, TcpFlags.FIN, TcpFlags.RST) if self & flag]
+        return "+".join(names) if names else "none"
+
+
+@dataclass
+class TcpHeader:
+    """TCP segment header: flags and 32-bit sequence/ack numbers."""
+
+    flags: TcpFlags = TcpFlags.NONE
+    seq: int = 0
+    ack: int = 0
+
+    def has(self, flag: TcpFlags) -> bool:
+        return bool(self.flags & flag)
+
+    @property
+    def is_syn_only(self) -> bool:
+        """A "raw" SYN: connection-opening segment with no ACK (paper §4.4)."""
+        return self.has(TcpFlags.SYN) and not self.has(TcpFlags.ACK)
+
+    @property
+    def is_syn_ack(self) -> bool:
+        return self.has(TcpFlags.SYN) and self.has(TcpFlags.ACK)
+
+    @property
+    def is_rst(self) -> bool:
+        return self.has(TcpFlags.RST)
+
+
+class IcmpType(enum.Enum):
+    """ICMP message kinds the simulator can emit."""
+
+    DEST_UNREACHABLE = "dest-unreachable"
+    PORT_UNREACHABLE = "port-unreachable"
+    TIME_EXCEEDED = "time-exceeded"
+    ADMIN_PROHIBITED = "admin-prohibited"
+
+
+@dataclass
+class IcmpError:
+    """An ICMP error, carrying the offending packet's session identifiers.
+
+    ``original_src``/``original_dst`` identify the transport session of the
+    packet that provoked the error (as real ICMP embeds the original header),
+    so the TCP stack can route the error to the right socket.
+    """
+
+    icmp_type: IcmpType
+    original_proto: IpProtocol
+    original_src: Endpoint
+    original_dst: Endpoint
+
+
+@dataclass
+class Packet:
+    """One simulated IP packet.
+
+    Attributes:
+        proto: transport protocol.
+        src / dst: transport-level session endpoints (IP + port).  For ICMP
+            the port halves are 0 and :attr:`icmp` carries the session info.
+        payload: opaque application bytes (UDP datagram body or TCP segment
+            body).  NAT payload-mangling (§5.3) scans these bytes.
+        tcp: TCP header, present iff ``proto is IpProtocol.TCP``.
+        icmp: ICMP error body, present iff ``proto is IpProtocol.ICMP``.
+        ttl: decremented per hop; expiry drops the packet (guards routing
+            loops in malformed topologies).
+        packet_id: unique per packet object, for tracing.
+    """
+
+    proto: IpProtocol
+    src: Endpoint
+    dst: Endpoint
+    payload: bytes = b""
+    tcp: Optional[TcpHeader] = None
+    icmp: Optional[IcmpError] = None
+    ttl: int = DEFAULT_TTL
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self) -> None:
+        if self.proto is IpProtocol.TCP and self.tcp is None:
+            raise ValueError("TCP packet requires a TcpHeader")
+        if self.proto is not IpProtocol.TCP and self.tcp is not None:
+            raise ValueError(f"{self.proto} packet must not carry a TcpHeader")
+        if self.proto is IpProtocol.ICMP and self.icmp is None:
+            raise ValueError("ICMP packet requires an IcmpError body")
+
+    def copy(self) -> "Packet":
+        """Deep-enough copy for NAT rewriting: headers are fresh objects,
+        payload bytes are shared (immutable)."""
+        return Packet(
+            proto=self.proto,
+            src=self.src,
+            dst=self.dst,
+            payload=self.payload,
+            tcp=replace(self.tcp) if self.tcp else None,
+            icmp=replace(self.icmp) if self.icmp else None,
+            ttl=self.ttl,
+        )
+
+    @property
+    def size(self) -> int:
+        """Approximate on-wire size in bytes (header estimate + payload)."""
+        header = {IpProtocol.UDP: 28, IpProtocol.TCP: 40, IpProtocol.ICMP: 36}[self.proto]
+        return header + len(self.payload)
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used by traces and logs."""
+        base = f"{self.proto.value} {self.src} -> {self.dst}"
+        if self.tcp is not None:
+            base += f" [{self.tcp.flags.describe()} seq={self.tcp.seq} ack={self.tcp.ack}]"
+        if self.icmp is not None:
+            base += f" [{self.icmp.icmp_type.value}]"
+        if self.payload:
+            base += f" ({len(self.payload)}B)"
+        return base
+
+
+def udp_packet(src: Endpoint, dst: Endpoint, payload: bytes = b"") -> Packet:
+    """Convenience constructor for a UDP datagram."""
+    return Packet(proto=IpProtocol.UDP, src=src, dst=dst, payload=payload)
+
+
+def tcp_packet(
+    src: Endpoint,
+    dst: Endpoint,
+    flags: TcpFlags,
+    seq: int = 0,
+    ack: int = 0,
+    payload: bytes = b"",
+) -> Packet:
+    """Convenience constructor for a TCP segment."""
+    return Packet(
+        proto=IpProtocol.TCP,
+        src=src,
+        dst=dst,
+        payload=payload,
+        tcp=TcpHeader(flags=flags, seq=seq % (1 << 32), ack=ack % (1 << 32)),
+    )
+
+
+def icmp_error_for(offender: Packet, icmp_type: IcmpType, reporter_ip) -> Packet:
+    """Build the ICMP error a middlebox sends about *offender*.
+
+    The error travels back toward the offender's source; its ICMP body quotes
+    the offending session so the sender's stack can attribute it.
+    """
+    return Packet(
+        proto=IpProtocol.ICMP,
+        src=Endpoint(reporter_ip, 0),
+        dst=Endpoint(offender.src.ip, 0),
+        icmp=IcmpError(
+            icmp_type=icmp_type,
+            original_proto=offender.proto,
+            original_src=offender.src,
+            original_dst=offender.dst,
+        ),
+    )

@@ -1,0 +1,89 @@
+"""Packet tracing: capture wire events for tests, debugging, and benches."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.netsim.packet import IpProtocol, Packet
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed wire event.
+
+    ``event`` is one of ``"sent"``, ``"lost"``, ``"no-next-hop"``.
+    """
+
+    time: float
+    link: str
+    sender: str
+    receiver: Optional[str]
+    event: str
+    packet: Packet
+
+    def __str__(self) -> str:
+        to = self.receiver or "-"
+        return f"[{self.time:9.4f}] {self.link}: {self.sender}->{to} {self.event} {self.packet.describe()}"
+
+
+class PacketTrace:
+    """An append-only capture of wire events with simple query helpers.
+
+    Disabled by default (capture costs memory in big fleet runs); call
+    :meth:`enable` before the traffic of interest.
+    """
+
+    def __init__(self, enabled: bool = False, capacity: int = 1_000_000) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self.records: List[TraceRecord] = []
+        self.dropped_records = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.dropped_records = 0
+
+    def record(self, time: float, link: str, sender: str, receiver: Optional[str], event: str, packet: Packet) -> None:
+        """Append a record (no-op when disabled or at capacity)."""
+        if not self.enabled:
+            return
+        if len(self.records) >= self.capacity:
+            self.dropped_records += 1
+            return
+        self.records.append(
+            TraceRecord(time=time, link=link, sender=sender, receiver=receiver, event=event, packet=packet)
+        )
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> List[TraceRecord]:
+        return [r for r in self.records if predicate(r)]
+
+    def sent(self, proto: Optional[IpProtocol] = None) -> List[TraceRecord]:
+        """Successfully transmitted packets, optionally by protocol."""
+        return [
+            r
+            for r in self.records
+            if r.event == "sent" and (proto is None or r.packet.proto is proto)
+        ]
+
+    def between(self, sender: str, receiver: str) -> List[TraceRecord]:
+        """Sent records from node *sender* to node *receiver*."""
+        return [
+            r for r in self.records if r.event == "sent" and r.sender == sender and r.receiver == receiver
+        ]
+
+    def count(self, event: str = "sent") -> int:
+        return sum(1 for r in self.records if r.event == event)
+
+    def dump(self, limit: int = 200) -> str:
+        """Human-readable multi-line dump (truncated at *limit* lines)."""
+        lines = [str(r) for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more records")
+        return "\n".join(lines)

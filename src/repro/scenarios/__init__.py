@@ -1,0 +1,19 @@
+"""Canonical topologies and runnable scenarios for the paper's figures."""
+
+from repro.scenarios.topologies import (
+    Scenario,
+    build_common_nat,
+    build_multilevel,
+    build_one_sided,
+    build_public_pair,
+    build_two_nats,
+)
+
+__all__ = [
+    "Scenario",
+    "build_common_nat",
+    "build_multilevel",
+    "build_one_sided",
+    "build_public_pair",
+    "build_two_nats",
+]

@@ -1,0 +1,28 @@
+"""Host transport stacks: UDP, TCP (RFC 793 subset incl. simultaneous open),
+and a Berkeley-style socket facade with SO_REUSEADDR semantics (paper §4.1).
+"""
+
+from repro.transport.stack import HostStack, attach_stack
+from repro.transport.tcp import (
+    TcpConnection,
+    TcpListener,
+    TcpStack,
+    TcpState,
+    TcpStyle,
+)
+from repro.transport.udp import UdpSocket, UdpStack
+from repro.transport.sockets import ReuseSocket, SocketApi
+
+__all__ = [
+    "HostStack",
+    "attach_stack",
+    "TcpConnection",
+    "TcpListener",
+    "TcpStack",
+    "TcpState",
+    "TcpStyle",
+    "UdpSocket",
+    "UdpStack",
+    "ReuseSocket",
+    "SocketApi",
+]

@@ -1,0 +1,158 @@
+"""Berkeley-flavoured socket facade with SO_REUSEADDR semantics (paper §4.1).
+
+The paper's practical obstacle to TCP hole punching is an *API* problem:
+one local TCP port must carry a listen socket **and** several outgoing
+connects at once, which the classic sockets API only permits when every
+socket sets ``SO_REUSEADDR`` (and ``SO_REUSEPORT`` on BSD).  This module
+reproduces that contract faithfully so the hole-punching code in
+:mod:`repro.core.tcp_punch` reads like the paper's description:
+
+    api = SocketApi(host.stack)
+    sock = api.socket()
+    sock.set_reuse_addr(True)
+    sock.bind(4321)
+    sock.listen(on_accept=...)
+    other = api.socket(); other.set_reuse_addr(True); other.bind(4321)
+    other.connect(peer_public, on_connected=..., on_error=...)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.netsim.addresses import Endpoint
+from repro.transport.stack import HostStack
+from repro.transport.tcp import TcpConnection, TcpListener
+from repro.util.errors import BindError
+
+
+class ReuseSocket:
+    """A TCP socket handle in the bind-then-listen-or-connect style.
+
+    One handle becomes either a listener or a single connection, mirroring
+    the kernel object model the paper's Figure 7 illustrates.
+    """
+
+    def __init__(self, api: "SocketApi") -> None:
+        self._api = api
+        self._reuse = False
+        self._port: Optional[int] = None
+        self.listener: Optional[TcpListener] = None
+        self.connection: Optional[TcpConnection] = None
+
+    def set_reuse_addr(self, enabled: bool) -> None:
+        """Equivalent of ``setsockopt(SO_REUSEADDR)`` (+ SO_REUSEPORT on BSD)."""
+        if self._port is not None:
+            raise BindError("set_reuse_addr must precede bind")
+        self._reuse = enabled
+
+    @property
+    def reuse_addr(self) -> bool:
+        return self._reuse
+
+    def bind(self, port: int) -> int:
+        """Bind to *port* (0 = ephemeral).  Returns the bound port.
+
+        Raises BindError if the port is held by sockets that did not all set
+        SO_REUSEADDR — the exact failure mode §4.1 describes.
+        """
+        if self._port is not None:
+            raise BindError("socket already bound")
+        self._port = self._api._bind(self, port, self._reuse)
+        return self._port
+
+    @property
+    def local_port(self) -> Optional[int]:
+        return self._port
+
+    def listen(
+        self,
+        on_accept: Optional[Callable[[TcpConnection], None]] = None,
+        backlog: int = 16,
+    ) -> TcpListener:
+        """Turn this bound socket into a listener."""
+        if self._port is None:
+            raise BindError("listen requires bind")
+        if self.listener is not None or self.connection is not None:
+            raise BindError("socket already active")
+        self.listener = self._api.stack.tcp.listen(
+            self._port, on_accept=on_accept, reuse=self._reuse, backlog=backlog
+        )
+        return self.listener
+
+    def connect(
+        self,
+        remote: Endpoint,
+        on_connected=None,
+        on_error=None,
+        on_data=None,
+        on_close=None,
+    ) -> TcpConnection:
+        """Begin an asynchronous connect from this socket's bound port."""
+        if self._port is None:
+            self.bind(0)
+        if self.listener is not None or self.connection is not None:
+            raise BindError("socket already active")
+        self.connection = self._api.stack.tcp.connect(
+            remote,
+            local_port=self._port,
+            reuse=self._reuse,
+            on_connected=on_connected,
+            on_error=on_error,
+            on_data=on_data,
+            on_close=on_close,
+        )
+        return self.connection
+
+    def close(self) -> None:
+        if self.listener is not None:
+            self.listener.close()
+            self.listener = None
+        if self.connection is not None:
+            self.connection.abort()
+            self.connection = None
+        self._api._unbind(self)
+        self._port = None
+
+
+class SocketApi:
+    """Factory + port-sharing bookkeeping for :class:`ReuseSocket`.
+
+    The underlying :class:`TcpStack` enforces sharing too; this layer exists
+    to model the *socket-level* REUSE contract (all sockets on the port must
+    set the option before bind) and to answer Figure 7 census queries.
+    """
+
+    def __init__(self, stack: HostStack) -> None:
+        self.stack = stack
+        self._port_users: Dict[int, List[ReuseSocket]] = {}
+
+    def socket(self) -> ReuseSocket:
+        return ReuseSocket(self)
+
+    def _bind(self, sock: ReuseSocket, port: int, reuse: bool) -> int:
+        if port != 0:
+            users = self._port_users.get(port, [])
+            if users and not (reuse and all(u.reuse_addr for u in users)):
+                raise BindError(
+                    f"{self.stack.host.name}: TCP port {port} in use; "
+                    f"SO_REUSEADDR required on every socket (paper §4.1)"
+                )
+        else:
+            port = self.stack.tcp._allocate_ephemeral()
+        self._port_users.setdefault(port, []).append(sock)
+        return port
+
+    def _unbind(self, sock: ReuseSocket) -> None:
+        port = sock.local_port
+        if port is None:
+            return
+        users = self._port_users.get(port)
+        if users and sock in users:
+            users.remove(sock)
+            if not users:
+                del self._port_users[port]
+
+    def sockets_on_port(self, port: int) -> List[ReuseSocket]:
+        """All API-level sockets bound to *port* (Figure 7 census)."""
+        return list(self._port_users.get(port, []))

@@ -1,0 +1,23 @@
+"""Shared utilities: error types, deterministic RNG, structured event logging."""
+
+from repro.util.errors import (
+    ReproError,
+    AddressError,
+    BindError,
+    ConnectionError_,
+    ProtocolError,
+    RoutingError,
+    TimeoutError_,
+)
+from repro.util.rng import SeededRng
+
+__all__ = [
+    "ReproError",
+    "AddressError",
+    "BindError",
+    "ConnectionError_",
+    "ProtocolError",
+    "RoutingError",
+    "TimeoutError_",
+    "SeededRng",
+]

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one base class at API boundaries.  Names shadowing builtins carry a
+trailing underscore (``ConnectionError_``, ``TimeoutError_``) to avoid masking
+the builtin exceptions in client code that does ``from repro.util import *``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IP address, prefix, or endpoint was malformed or out of range."""
+
+
+class BindError(ReproError, OSError):
+    """A socket could not be bound (port in use without REUSE, bad address)."""
+
+
+class ConnectionError_(ReproError, OSError):
+    """A transport connection failed (reset, refused, or unreachable).
+
+    Attributes:
+        reason: short machine-readable cause, e.g. ``"reset"``, ``"refused"``,
+            ``"unreachable"``, ``"address-in-use"``.
+    """
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or reason)
+        self.reason = reason
+
+
+class ProtocolError(ReproError):
+    """A wire message could not be parsed or violated the protocol."""
+
+
+class RoutingError(ReproError):
+    """No route exists for a destination, or a topology is inconsistent."""
+
+
+class TimeoutError_(ReproError, OSError):
+    """An operation exceeded its (virtual-time) deadline."""

@@ -1,0 +1,47 @@
+"""Shared pytest fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim.addresses import Endpoint
+from repro.netsim.network import Network
+from repro.transport.stack import attach_stack
+from repro.transport.tcp import TcpStyle
+
+
+@pytest.fixture
+def net():
+    """A fresh deterministic network."""
+    return Network(seed=1234)
+
+
+@pytest.fixture
+def lan_pair(net):
+    """Two hosts with transport stacks on one zero-NAT segment."""
+    link = net.create_link("wire")
+    a = net.add_host("hostA", ip="192.0.2.1", network="192.0.2.0/24", link=link)
+    b = net.add_host("hostB", ip="192.0.2.2", network="192.0.2.0/24", link=link)
+    attach_stack(a, rng=net.rng.child("a"))
+    attach_stack(b, rng=net.rng.child("b"))
+    return net, a, b
+
+
+def make_lan_pair(seed=1, style_a=TcpStyle.BSD, style_b=TcpStyle.BSD):
+    """Two stacked hosts on one segment (non-fixture variant for subtests)."""
+    net = Network(seed=seed)
+    link = net.create_link("wire")
+    a = net.add_host("hostA", ip="192.0.2.1", network="192.0.2.0/24", link=link)
+    b = net.add_host("hostB", ip="192.0.2.2", network="192.0.2.0/24", link=link)
+    attach_stack(a, tcp_style=style_a, rng=net.rng.child("a"))
+    attach_stack(b, tcp_style=style_b, rng=net.rng.child("b"))
+    return net, a, b
+
+
+def ep(text: str) -> Endpoint:
+    return Endpoint.parse(text)
+
+
+def run_until(net: Network, predicate, timeout: float = 30.0) -> bool:
+    """Drive the network until predicate() is true or timeout elapses."""
+    return net.scheduler.run_while(lambda: not predicate(), net.scheduler.now + timeout)

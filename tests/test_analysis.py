@@ -1,0 +1,25 @@
+"""The reproduction-report driver."""
+
+from repro.analysis.report import ReportSection, generate_report
+
+
+def test_quick_report_all_artifacts_pass():
+    report = generate_report(seed=7, quick=True)
+    assert "10/10 artifacts reproduce" in report
+    assert "FAIL" not in report
+    assert "Figure 5: different NATs" in report
+    assert "Figure 8" in report
+
+
+def test_report_contains_measurements():
+    report = generate_report(seed=7, quick=True)
+    assert "relay_overhead_x" in report
+    assert "locked_matches_paper: True" in report
+    assert "hairpin_refused" in report
+
+
+def test_section_render_format():
+    section = ReportSection(title="T", body="B", passed=False, wall_seconds=1.0)
+    text = section.render()
+    assert text.startswith("[FAIL] T")
+    assert text.endswith("B")

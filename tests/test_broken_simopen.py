@@ -1,0 +1,109 @@
+"""Stacks without working simultaneous open (§4.5's pre-XP-SP2 Windows)."""
+
+import pytest
+
+from repro.netsim.addresses import Endpoint
+from repro.netsim.network import Network
+from repro.transport.stack import attach_stack
+from repro.transport.tcp import TcpState, TcpStyle
+
+from tests.conftest import run_until
+
+
+def make_pair(broken_a=True, broken_b=True, seed=1):
+    net = Network(seed=seed)
+    link = net.create_link("wire")
+    a = net.add_host("hostA", ip="192.0.2.1", network="192.0.2.0/24", link=link)
+    b = net.add_host("hostB", ip="192.0.2.2", network="192.0.2.0/24", link=link)
+    attach_stack(a, rng=net.rng.child("a"), simultaneous_open_supported=not broken_a)
+    attach_stack(b, rng=net.rng.child("b"), simultaneous_open_supported=not broken_b)
+    return net, a, b
+
+
+A_EP = Endpoint("192.0.2.1", 7000)
+B_EP = Endpoint("192.0.2.2", 7000)
+
+
+def test_broken_stacks_reset_crossing_syns():
+    """Two broken stacks: crossed connects kill each other with RSTs."""
+    net, a, b = make_pair()
+    outcomes = {"a": [], "b": []}
+    a.stack.tcp.connect(B_EP, local_port=7000,
+                        on_connected=lambda c: outcomes["a"].append("ok"),
+                        on_error=lambda e: outcomes["a"].append(e.reason))
+    b.stack.tcp.connect(A_EP, local_port=7000,
+                        on_connected=lambda c: outcomes["b"].append("ok"),
+                        on_error=lambda e: outcomes["b"].append(e.reason))
+    run_until(net, lambda: outcomes["a"] and outcomes["b"])
+    assert outcomes == {"a": ["reset"], "b": ["reset"]}
+
+
+def test_broken_stack_still_does_normal_client_server():
+    """The breakage only affects simultaneous open, not ordinary connects."""
+    net, a, b = make_pair()
+    accepted, connected = [], []
+    b.stack.tcp.listen(80, on_accept=accepted.append)
+    a.stack.tcp.connect(Endpoint("192.0.2.2", 80), on_connected=connected.append)
+    run_until(net, lambda: accepted and connected)
+    assert accepted[0].state is TcpState.ESTABLISHED
+
+
+def test_one_healthy_side_suffices():
+    """A healthy stack completes the open even if the peer's is broken,
+    as long as the broken side's SYN arrives second... i.e. the healthy
+    side absorbs the crossing SYN."""
+    net, a, b = make_pair(broken_a=False, broken_b=True, seed=2)
+    outcomes = {"a": [], "b": []}
+    a.stack.tcp.connect(B_EP, local_port=7000,
+                        on_connected=lambda c: outcomes["a"].append("ok"),
+                        on_error=lambda e: outcomes["a"].append(e.reason))
+    b.stack.tcp.connect(A_EP, local_port=7000,
+                        on_connected=lambda c: outcomes["b"].append("ok"),
+                        on_error=lambda e: outcomes["b"].append(e.reason))
+    run_until(net, lambda: outcomes["a"] and outcomes["b"])
+    # A enters simultaneous open and replies SYN-ACK; B's broken stack had
+    # already RST A's SYN though, so at least one side errors: the pairing
+    # cannot fully establish.
+    assert "reset" in outcomes["a"] + outcomes["b"]
+
+
+def test_sequential_punching_rescues_broken_stacks():
+    """§4.5: 'this sequential procedure may be particularly useful on
+    Windows hosts prior to XP Service Pack 2' — it avoids simultaneous open
+    entirely, so it works where the parallel procedure's crossed SYNs would
+    be reset."""
+    from repro.scenarios.topologies import ScenarioBuilder, Scenario
+
+    builder = ScenarioBuilder(seed=3)
+    server = builder.add_server()
+    clients = {}
+    for index, (label, pub, net_prefix) in enumerate(
+        [("A", "155.99.25.11", "10.0.0.0/24"), ("B", "138.76.29.7", "10.1.1.0/24")],
+        start=1,
+    ):
+        nat, lan, gw = builder.add_nat(label, pub, net_prefix)
+        host_ip = net_prefix.replace("0/24", "1")
+        host = builder.net.add_host(label, ip=host_ip, network=net_prefix,
+                                    link=lan, gateway=gw)
+        attach_stack(host, rng=builder.net.rng.child(label),
+                     simultaneous_open_supported=False)
+        clients[label] = builder.make_client(host, index)
+    sc = Scenario(net=builder.net, server=server, clients=clients)
+    sc.register_all_tcp()
+    result = {}
+    sc.clients["B"].on_peer_stream = lambda s: result.setdefault("b", s)
+    sc.clients["A"].connect_tcp_sequential(
+        2,
+        on_stream=lambda s: result.setdefault("a", s),
+        on_failure=lambda e: result.setdefault("fail", e),
+    )
+    sc.scheduler.run_while(
+        lambda: not (("a" in result and "b" in result) or "fail" in result),
+        sc.scheduler.now + 60.0,
+    )
+    assert "a" in result and "b" in result, result.get("fail")
+    got = []
+    result["b"].on_data = got.append
+    result["a"].send(b"no simultaneous open needed")
+    sc.run_for(2.0)
+    assert got == [b"no simultaneous open needed"]

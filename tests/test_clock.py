@@ -1,0 +1,191 @@
+"""Unit tests for the virtual-time scheduler."""
+
+import pytest
+
+from repro.netsim.clock import Scheduler
+
+
+def test_starts_at_zero():
+    assert Scheduler().now == 0.0
+
+
+def test_call_later_fires_in_order():
+    s = Scheduler()
+    fired = []
+    s.call_later(2.0, fired.append, "b")
+    s.call_later(1.0, fired.append, "a")
+    s.call_later(3.0, fired.append, "c")
+    s.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    s = Scheduler()
+    times = []
+    s.call_later(1.5, lambda: times.append(s.now))
+    s.run()
+    assert times == [1.5]
+    assert s.now == 1.5
+
+
+def test_same_time_fires_in_scheduling_order():
+    s = Scheduler()
+    fired = []
+    for tag in "abcde":
+        s.call_at(1.0, fired.append, tag)
+    s.run()
+    assert fired == list("abcde")
+
+
+def test_cancel_prevents_firing():
+    s = Scheduler()
+    fired = []
+    timer = s.call_later(1.0, fired.append, "x")
+    timer.cancel()
+    s.run()
+    assert fired == []
+    assert timer.cancelled
+    assert not timer.fired
+
+
+def test_cancel_is_idempotent():
+    s = Scheduler()
+    timer = s.call_later(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    assert timer.cancelled
+
+
+def test_timer_active_lifecycle():
+    s = Scheduler()
+    timer = s.call_later(1.0, lambda: None)
+    assert timer.active
+    s.run()
+    assert timer.fired
+    assert not timer.active
+
+
+def test_cannot_schedule_in_past():
+    s = Scheduler()
+    s.call_later(1.0, lambda: None)
+    s.run()
+    with pytest.raises(ValueError):
+        s.call_at(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Scheduler().call_later(-0.1, lambda: None)
+
+
+def test_run_until_stops_at_deadline():
+    s = Scheduler()
+    fired = []
+    s.call_later(1.0, fired.append, 1)
+    s.call_later(5.0, fired.append, 5)
+    s.run_until(2.0)
+    assert fired == [1]
+    assert s.now == 2.0
+    s.run_until(10.0)
+    assert fired == [1, 5]
+
+
+def test_run_until_backwards_rejected():
+    s = Scheduler()
+    s.run_until(5.0)
+    with pytest.raises(ValueError):
+        s.run_until(1.0)
+
+
+def test_run_until_advances_clock_even_without_events():
+    s = Scheduler()
+    s.run_until(7.0)
+    assert s.now == 7.0
+
+
+def test_step_returns_false_when_empty():
+    assert Scheduler().step() is False
+
+
+def test_step_fires_exactly_one():
+    s = Scheduler()
+    fired = []
+    s.call_later(1.0, fired.append, 1)
+    s.call_later(2.0, fired.append, 2)
+    assert s.step() is True
+    assert fired == [1]
+
+
+def test_callbacks_can_schedule_more():
+    s = Scheduler()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            s.call_later(1.0, chain, n + 1)
+
+    s.call_later(1.0, chain, 1)
+    s.run()
+    assert fired == [1, 2, 3, 4, 5]
+    assert s.now == 5.0
+
+
+def test_run_event_cap():
+    s = Scheduler()
+
+    def forever():
+        s.call_later(0.001, forever)
+
+    s.call_later(0.0, forever)
+    with pytest.raises(RuntimeError):
+        s.run(max_events=100)
+
+
+def test_run_while_condition_met():
+    s = Scheduler()
+    box = []
+    s.call_later(1.0, box.append, 1)
+    assert s.run_while(lambda: not box, deadline=5.0) is True
+    assert s.now == 1.0
+
+
+def test_run_while_deadline():
+    s = Scheduler()
+    assert s.run_while(lambda: True, deadline=3.0) is False
+    assert s.now == 3.0
+
+
+def test_pending_counts_active_only():
+    s = Scheduler()
+    t1 = s.call_later(1.0, lambda: None)
+    s.call_later(2.0, lambda: None)
+    assert s.pending == 2
+    t1.cancel()
+    assert s.pending == 1
+
+
+def test_zero_delay_fires():
+    s = Scheduler()
+    fired = []
+    s.call_later(0.0, fired.append, 1)
+    s.run()
+    assert fired == [1]
+    assert s.now == 0.0
+
+
+def test_callback_arguments_passed():
+    s = Scheduler()
+    got = []
+    s.call_later(1.0, lambda a, b, c: got.append((a, b, c)), 1, "two", 3.0)
+    s.run()
+    assert got == [(1, "two", 3.0)]
+
+
+def test_cancel_mid_run_from_other_callback():
+    s = Scheduler()
+    fired = []
+    victim = s.call_at(2.0, fired.append, "victim")
+    s.call_at(1.0, victim.cancel)
+    s.run()
+    assert fired == []

@@ -1,0 +1,146 @@
+"""The P2PConnector strategy ladder."""
+
+import pytest
+
+from repro.core.connector import (
+    P2PConnector,
+    STRATEGY_PUNCH,
+    STRATEGY_RELAY,
+    STRATEGY_REVERSAL,
+)
+from repro.core.protocol import TRANSPORT_TCP, TRANSPORT_UDP
+from repro.core.relay import RelaySession
+from repro.core.tcp_punch import TcpStream
+from repro.core.udp_punch import UdpSession
+from repro.nat import behavior as B
+from repro.scenarios import build_one_sided, build_two_nats
+
+
+def run_ladder(scenario, transport, requester="A", target=2, phase_timeout=6.0):
+    if transport == TRANSPORT_TCP:
+        scenario.register_all_tcp()
+    scenario.register_all_udp()
+    connector = P2PConnector(
+        scenario.clients[requester], transport=transport, phase_timeout=phase_timeout
+    )
+    results = []
+    connector.connect(target, on_result=results.append)
+    scenario.wait_for(lambda: results, 90.0)
+    return results[0]
+
+
+def test_punch_wins_on_friendly_nats_udp():
+    result = run_ladder(build_two_nats(seed=61), TRANSPORT_UDP)
+    assert result.connected
+    assert result.strategy == STRATEGY_PUNCH
+    assert isinstance(result.channel, UdpSession)
+    assert len(result.attempts) == 1
+
+
+def test_punch_wins_tcp():
+    result = run_ladder(build_two_nats(seed=62), TRANSPORT_TCP)
+    assert result.strategy == STRATEGY_PUNCH
+    assert isinstance(result.channel, TcpStream)
+
+
+def test_relay_fallback_on_symmetric_udp():
+    sc = build_two_nats(seed=63, behavior_a=B.SYMMETRIC_RANDOM,
+                        behavior_b=B.SYMMETRIC_RANDOM)
+    result = run_ladder(sc, TRANSPORT_UDP)
+    assert result.strategy == STRATEGY_RELAY
+    assert isinstance(result.channel, RelaySession)
+    assert [a.strategy for a in result.attempts] == [STRATEGY_PUNCH, STRATEGY_RELAY]
+    assert not result.attempts[0].success
+
+
+def test_reversal_rung_tried_for_tcp():
+    sym_tcp = B.WELL_BEHAVED.but(tcp_mapping=B.SYMMETRIC.mapping)
+    sc = build_two_nats(seed=64, behavior_a=sym_tcp, behavior_b=sym_tcp)
+    result = run_ladder(sc, TRANSPORT_TCP)
+    assert [a.strategy for a in result.attempts] == [
+        STRATEGY_PUNCH,
+        STRATEGY_REVERSAL,
+        STRATEGY_RELAY,
+    ]
+    assert result.strategy == STRATEGY_RELAY
+
+
+def test_punch_subsumes_reversal_when_requester_public():
+    """When the requester B is public, hole punching degenerates to A's
+    plain outbound connect to B — the same dial reversal would request — so
+    the punch rung wins even behind a TCP-symmetric NAT (§2.3's mechanism is
+    contained inside §4.2's)."""
+    sc = build_one_sided(seed=65, behavior=B.WELL_BEHAVED.but(
+        tcp_mapping=B.SYMMETRIC.mapping))
+    result = run_ladder(sc, TRANSPORT_TCP, requester="B", target=1)
+    assert result.strategy == STRATEGY_PUNCH
+    assert isinstance(result.channel, TcpStream)
+    # The winning stream is the one A dialed out to B.
+    assert result.channel.origin in ("accept", "connect")
+
+
+def test_relay_channel_carries_data():
+    sc = build_two_nats(seed=66, behavior_a=B.SYMMETRIC_RANDOM,
+                        behavior_b=B.SYMMETRIC_RANDOM)
+    result = run_ladder(sc, TRANSPORT_UDP)
+    got = []
+    sc.clients["B"].on_relay_session = lambda s: setattr(s, "on_data", got.append)
+    result.channel.send(b"laddered")
+    sc.run_for(2.0)
+    assert got == [b"laddered"]
+
+
+def test_attempt_timings_recorded():
+    sc = build_two_nats(seed=67, behavior_a=B.SYMMETRIC_RANDOM,
+                        behavior_b=B.SYMMETRIC_RANDOM)
+    result = run_ladder(sc, TRANSPORT_UDP, phase_timeout=4.0)
+    punch_attempt = result.attempts[0]
+    assert punch_attempt.elapsed == pytest.approx(4.0, abs=0.5)
+    assert "timed out" in punch_attempt.detail
+
+
+def test_turn_rung_wins_before_s_relay_when_enabled():
+    """With TURN enabled on both clients, double-symmetric NATs fall back to
+    the TURN pair channel instead of burdening S with data."""
+    from repro.core.connector import STRATEGY_TURN
+    from repro.core.turn import TurnPairSession, TurnServer
+    from repro.transport.stack import attach_stack
+
+    sc = build_two_nats(seed=68, behavior_a=B.SYMMETRIC_RANDOM,
+                        behavior_b=B.SYMMETRIC_RANDOM)
+    relay_host = sc.net.add_host("relay", ip="30.0.0.1", network="0.0.0.0/0",
+                                 link=sc.net.links["backbone"])
+    attach_stack(relay_host)
+    turn_server = TurnServer(relay_host)
+    for c in sc.clients.values():
+        c.enable_turn(turn_server.endpoint)
+    result = run_ladder(sc, TRANSPORT_UDP, phase_timeout=5.0)
+    assert result.strategy == STRATEGY_TURN
+    assert isinstance(result.channel, TurnPairSession)
+    assert [a.strategy for a in result.attempts] == ["hole-punch", STRATEGY_TURN]
+    # The channel carries data (through both relays).
+    got = []
+    sc.clients["B"].turn_pairs[1].on_data = got.append
+    result.channel.send(b"laddered via TURN")
+    sc.run_for(2.0)
+    assert got == [b"laddered via TURN"]
+    assert sc.server.relayed_bytes == 0  # S carried no application data
+
+
+def test_turn_rung_fails_over_to_s_relay_when_peer_lacks_turn():
+    from repro.core.connector import STRATEGY_RELAY, STRATEGY_TURN
+    from repro.core.turn import TurnServer
+    from repro.transport.stack import attach_stack
+
+    sc = build_two_nats(seed=69, behavior_a=B.SYMMETRIC_RANDOM,
+                        behavior_b=B.SYMMETRIC_RANDOM)
+    relay_host = sc.net.add_host("relay", ip="30.0.0.1", network="0.0.0.0/0",
+                                 link=sc.net.links["backbone"])
+    attach_stack(relay_host)
+    turn_server = TurnServer(relay_host)
+    sc.clients["A"].enable_turn(turn_server.endpoint)  # B has no TURN client
+    result = run_ladder(sc, TRANSPORT_UDP, phase_timeout=4.0)
+    assert [a.strategy for a in result.attempts] == [
+        "hole-punch", STRATEGY_TURN, STRATEGY_RELAY,
+    ]
+    assert result.strategy == STRATEGY_RELAY

@@ -1,0 +1,60 @@
+"""Smoke-run every example script (keeps them from rotting)."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+def _run_example(path: Path) -> str:
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    buffer = io.StringIO()
+    # natcheck_survey reads sys.argv: force quick mode.
+    old_argv, sys.argv = sys.argv, [str(path), "--quick"]
+    try:
+        with redirect_stdout(buffer):
+            spec.loader.exec_module(module)
+            module.main()
+    finally:
+        sys.argv = old_argv
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_runs(path):
+    output = _run_example(path)
+    assert output.strip(), f"{path.stem} produced no output"
+    lowered = output.lower()
+    assert "traceback" not in lowered
+    assert "punch failed" not in lowered
+
+
+def test_quickstart_output_shape():
+    output = _run_example(Path(__file__).parent.parent / "examples" / "quickstart.py")
+    assert "A locked in B at 138.76.29.7:31000" in output
+    assert "hello from A" in output
+
+
+def test_file_transfer_verifies_checksum():
+    output = _run_example(Path(__file__).parent.parent / "examples" / "file_transfer.py")
+    assert "sha256 match: True" in output
+    assert "bytes relayed by S: 0" in output
+
+
+def test_natcheck_cli():
+    from repro.natcheck.__main__ import main
+
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["--behavior", "symmetric", "--seed", "1"])
+    assert code == 0
+    assert "UDP punch: no" in buffer.getvalue()
+
+    with redirect_stdout(io.StringIO()):
+        assert main(["--list"]) == 0

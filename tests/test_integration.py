@@ -1,0 +1,185 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro.core.udp_punch import PunchConfig
+from repro.nat import behavior as B
+from repro.netsim.link import LinkProfile
+from repro.scenarios import build_common_nat, build_two_nats
+from repro.scenarios.topologies import ScenarioBuilder
+
+
+class TestPayloadManglerEndToEnd:
+    """§5.3 + §3.1: a payload-mangling NAT corrupts the registration's
+    private endpoint; obfuscation defends."""
+
+    def _common_nat_mangler(self, obfuscate, seed):
+        # Behind a COMMON NAT the private endpoints are what makes punching
+        # work (§3.3), so a mangled private endpoint is fatal unless the NAT
+        # hairpins; obfuscation prevents the mangling.
+        sc = build_common_nat(seed=seed, behavior=B.PAYLOAD_MANGLER, obfuscate=obfuscate)
+        sc.register_all_udp()
+        result = {}
+        sc.clients["A"].connect_udp(
+            2,
+            on_session=lambda s: result.setdefault("ok", s),
+            on_failure=lambda e: result.setdefault("fail", e),
+            config=PunchConfig(timeout=6.0),
+        )
+        sc.scheduler.run_while(lambda: not result, sc.scheduler.now + 15.0)
+        return sc, result
+
+    def test_mangler_corrupts_registration_without_obfuscation(self):
+        sc, result = self._common_nat_mangler(obfuscate=False, seed=1)
+        from repro.core.protocol import TRANSPORT_UDP
+
+        reg = sc.server.registration(1, TRANSPORT_UDP)
+        # The NAT rewrote the embedded private IP to its public IP.
+        assert str(reg.private_ep.ip) == "155.99.25.11"
+        assert "fail" in result  # and the punch could not complete
+
+    def test_obfuscation_defeats_the_mangler(self):
+        sc, result = self._common_nat_mangler(obfuscate=True, seed=2)
+        from repro.core.protocol import TRANSPORT_UDP
+
+        reg = sc.server.registration(1, TRANSPORT_UDP)
+        assert str(reg.private_ep.ip) == "10.0.0.1"
+        assert "ok" in result
+        assert result["ok"].remote.is_private
+
+
+class TestLossyNetwork:
+    def test_udp_punch_survives_loss_and_jitter(self):
+        sc = build_two_nats(
+            seed=3, backbone_profile=LinkProfile(latency=0.03, jitter=0.02, loss=0.15)
+        )
+        for c in sc.clients.values():
+            c.register_udp(max_tries=10)
+        sc.wait_for(lambda: all(c.udp_registered for c in sc.clients.values()), 20.0)
+        result = {}
+        sc.clients["A"].connect_udp(
+            2,
+            on_session=lambda s: result.setdefault("ok", s),
+            on_failure=lambda e: result.setdefault("fail", e),
+            config=PunchConfig(timeout=20.0),
+        )
+        sc.scheduler.run_while(lambda: not result, sc.scheduler.now + 30.0)
+        assert "ok" in result
+
+    def test_tcp_punch_survives_loss(self):
+        sc = build_two_nats(
+            seed=4, backbone_profile=LinkProfile(latency=0.02, loss=0.10)
+        )
+        sc.register_all_tcp(timeout=30.0)
+        result = {}
+        sc.clients["B"].on_peer_stream = lambda s: result.setdefault("b", s)
+        sc.clients["A"].connect_tcp(
+            2,
+            on_stream=lambda s: result.setdefault("a", s),
+            on_failure=lambda e: result.setdefault("fail", e),
+        )
+        sc.scheduler.run_while(
+            lambda: not (("a" in result and "b" in result) or "fail" in result),
+            sc.scheduler.now + 60.0,
+        )
+        assert "a" in result
+        got = []
+        result["b"].on_data = got.append
+        result["a"].send(b"lossy but reliable")
+        sc.run_for(20.0)
+        assert got == [b"lossy but reliable"]
+
+
+class TestMesh:
+    def test_four_client_full_mesh_udp(self):
+        """Six simultaneous punches through four NATs stress the demux."""
+        builder = ScenarioBuilder(seed=5)
+        server = builder.add_server()
+        clients = {}
+        for index, label in enumerate(["A", "B", "C", "D"], start=1):
+            nat, lan, gw = builder.add_nat(
+                label, f"20.0.{index}.1", f"10.{index}.0.0/24", B.WELL_BEHAVED
+            )
+            host = builder.add_client_host(
+                label, f"10.{index}.0.1", f"10.{index}.0.0/24", lan, gw
+            )
+            clients[label] = builder.make_client(host, index)
+        from repro.scenarios.topologies import Scenario
+
+        sc = Scenario(net=builder.net, server=server, clients=clients)
+        sc.register_all_udp()
+        sessions = {}
+        for label, client in clients.items():
+            client.on_peer_session = lambda s, l=label: sessions.setdefault(
+                (l, s.peer_id), s
+            )
+        labels = list(clients)
+        pairs = [
+            (a, b) for i, a in enumerate(labels) for b in labels[i + 1:]
+        ]
+        for a, b in pairs:
+            clients[a].connect_udp(
+                labels.index(b) + 1,
+                on_session=lambda s, a=a: sessions.setdefault((a, s.peer_id), s),
+            )
+        sc.wait_for(lambda: len(sessions) >= 12, 60.0)
+        # Every pair has a working session in both directions.
+        for a, b in pairs:
+            ia, ib = labels.index(a) + 1, labels.index(b) + 1
+            assert (a, ib) in sessions and (b, ia) in sessions
+        # Spot-check data on one session.
+        got = []
+        sessions[("D", 1)].on_data = got.append
+        sessions[("A", 4)].send(b"mesh")
+        sc.run_for(2.0)
+        assert got == [b"mesh"]
+
+
+class TestMixedTransports:
+    def test_udp_and_tcp_sessions_coexist(self):
+        sc = build_two_nats(seed=6)
+        sc.register_all_udp()
+        sc.register_all_tcp()
+        result = {}
+        sc.clients["B"].on_peer_session = lambda s: result.setdefault("ub", s)
+        sc.clients["B"].on_peer_stream = lambda s: result.setdefault("tb", s)
+        sc.clients["A"].connect_udp(2, on_session=lambda s: result.setdefault("ua", s))
+        sc.clients["A"].connect_tcp(2, on_stream=lambda s: result.setdefault("ta", s))
+        sc.wait_for(lambda: {"ua", "ub", "ta", "tb"} <= set(result), 60.0)
+        got_udp, got_tcp = [], []
+        result["ub"].on_data = got_udp.append
+        result["tb"].on_data = got_tcp.append
+        result["ua"].send(b"datagram")
+        result["ta"].send(b"stream")
+        sc.run_for(2.0)
+        assert got_udp == [b"datagram"]
+        assert got_tcp == [b"stream"]
+
+    def test_nat_translation_tables_stay_bounded(self):
+        sc = build_two_nats(seed=7)
+        sc.register_all_udp()
+        sc.register_all_tcp()
+        done = []
+        sc.clients["A"].connect_udp(2, on_session=done.append)
+        sc.wait_for(lambda: done, 20.0)
+        # One UDP mapping + one TCP mapping per client on each NAT.
+        for nat in sc.nats.values():
+            assert len(nat.table) <= 3
+
+
+class TestServerRestartResilience:
+    def test_reregistration_after_server_state_loss(self):
+        """Clients re-register and punching works against fresh state."""
+        sc = build_two_nats(seed=8)
+        sc.register_all_udp()
+        # Simulate S losing its tables (process restart).
+        sc.server.udp_clients.clear()
+        failures, sessions = [], []
+        sc.clients["A"].connect_udp(2, on_session=sessions.append,
+                                    on_failure=failures.append)
+        sc.wait_for(lambda: failures or sessions, 15.0)
+        assert failures  # unknown peer now
+        sc.register_all_udp()
+        sc.clients["A"].connect_udp(2, on_session=sessions.append)
+        sc.wait_for(lambda: sessions, 15.0)
+        assert sessions[0].alive

@@ -1,0 +1,101 @@
+"""Unit tests for the packet model."""
+
+import pytest
+
+from repro.netsim.addresses import Endpoint
+from repro.netsim.packet import (
+    IcmpType,
+    IpProtocol,
+    Packet,
+    TcpFlags,
+    TcpHeader,
+    icmp_error_for,
+    tcp_packet,
+    udp_packet,
+)
+
+A = Endpoint("10.0.0.1", 4321)
+B = Endpoint("138.76.29.7", 31000)
+
+
+def test_udp_constructor():
+    p = udp_packet(A, B, b"hi")
+    assert p.proto is IpProtocol.UDP
+    assert p.src == A and p.dst == B
+    assert p.payload == b"hi"
+    assert p.tcp is None
+
+
+def test_tcp_constructor():
+    p = tcp_packet(A, B, TcpFlags.SYN, seq=100)
+    assert p.proto is IpProtocol.TCP
+    assert p.tcp.flags == TcpFlags.SYN
+    assert p.tcp.seq == 100
+
+
+def test_tcp_seq_wraps_mod_2_32():
+    p = tcp_packet(A, B, TcpFlags.ACK, seq=(1 << 32) + 5, ack=(1 << 33) + 7)
+    assert p.tcp.seq == 5
+    assert p.tcp.ack == 7
+
+
+def test_tcp_packet_requires_header():
+    with pytest.raises(ValueError):
+        Packet(proto=IpProtocol.TCP, src=A, dst=B)
+
+
+def test_udp_packet_rejects_tcp_header():
+    with pytest.raises(ValueError):
+        Packet(proto=IpProtocol.UDP, src=A, dst=B, tcp=TcpHeader())
+
+
+def test_icmp_requires_body():
+    with pytest.raises(ValueError):
+        Packet(proto=IpProtocol.ICMP, src=A, dst=B)
+
+
+def test_packet_ids_unique():
+    p1, p2 = udp_packet(A, B), udp_packet(A, B)
+    assert p1.packet_id != p2.packet_id
+
+
+def test_copy_is_independent():
+    p = tcp_packet(A, B, TcpFlags.SYN, seq=1)
+    q = p.copy()
+    q.src = Endpoint("1.2.3.4", 9)
+    q.tcp.seq = 99
+    assert p.src == A and p.tcp.seq == 1
+
+
+def test_size_estimates():
+    assert udp_packet(A, B, b"x" * 10).size == 38
+    assert tcp_packet(A, B, TcpFlags.SYN).size == 40
+
+
+def test_flags_describe():
+    assert TcpFlags.SYN.describe() == "SYN"
+    assert (TcpFlags.SYN | TcpFlags.ACK).describe() == "SYN+ACK"
+    assert TcpFlags.NONE.describe() == "none"
+
+
+def test_header_predicates():
+    assert TcpHeader(flags=TcpFlags.SYN).is_syn_only
+    assert not TcpHeader(flags=TcpFlags.SYN | TcpFlags.ACK).is_syn_only
+    assert TcpHeader(flags=TcpFlags.SYN | TcpFlags.ACK).is_syn_ack
+    assert TcpHeader(flags=TcpFlags.RST).is_rst
+
+
+def test_icmp_error_for_quotes_session():
+    offender = tcp_packet(A, B, TcpFlags.SYN)
+    err = icmp_error_for(offender, IcmpType.ADMIN_PROHIBITED, "155.99.25.11")
+    assert err.proto is IpProtocol.ICMP
+    assert err.dst.ip == A.ip
+    assert err.icmp.original_src == A
+    assert err.icmp.original_dst == B
+    assert err.icmp.original_proto is IpProtocol.TCP
+
+
+def test_describe_human_readable():
+    p = tcp_packet(A, B, TcpFlags.SYN | TcpFlags.ACK, seq=1, ack=2, payload=b"xy")
+    text = p.describe()
+    assert "tcp" in text and "SYN+ACK" in text and "2B" in text

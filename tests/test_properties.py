@@ -1,0 +1,156 @@
+"""Property-based tests on core invariants (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.nat.mapping import NatTable, mapping_key
+from repro.nat.policy import MappingPolicy, PortAllocation
+from repro.netsim.addresses import AddressPool, Endpoint, IPv4Network, is_private
+from repro.netsim.clock import Scheduler
+from repro.netsim.packet import IpProtocol
+from repro.transport.tcp import SEQ_MOD, seq_add, seq_diff, seq_ge
+from repro.util.rng import SeededRng
+
+public_ips = st.integers(0x01000000, 0x09FFFFFF)  # 1.0.0.0 - 9.255.255.255
+ports = st.integers(1, 0xFFFF)
+remote_endpoints = st.builds(Endpoint, public_ips, ports)
+
+
+def fresh_table(allocation=PortAllocation.SEQUENTIAL):
+    return NatTable(
+        scheduler=Scheduler(),
+        public_ip="155.99.25.11",
+        allocation=allocation,
+        port_base=62000,
+        rng=SeededRng(7, "prop"),
+    )
+
+
+@given(st.lists(remote_endpoints, min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_cone_nat_single_public_endpoint_for_any_destinations(remotes):
+    """§5.1 invariant: a cone NAT maps one private endpoint to exactly one
+    public endpoint no matter the destination sequence."""
+    table = fresh_table()
+    private = Endpoint("10.0.0.1", 4321)
+    publics = set()
+    for remote in remotes:
+        mapping = table.lookup_outbound(
+            MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, private, remote
+        )
+        if mapping is None:
+            mapping = table.create(
+                MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, private, remote, 60
+            )
+        mapping.note_outbound(remote, 0.0)
+        publics.add(mapping.public)
+    assert len(publics) == 1
+
+
+@given(st.lists(remote_endpoints, min_size=1, max_size=30, unique=True))
+@settings(max_examples=50)
+def test_symmetric_nat_unique_public_ports_per_destination(remotes):
+    """Symmetric mappings never collide: distinct destinations get distinct
+    live public ports."""
+    table = fresh_table()
+    private = Endpoint("10.0.0.1", 4321)
+    publics = []
+    for remote in remotes:
+        mapping = table.lookup_outbound(
+            MappingPolicy.ADDRESS_AND_PORT_DEPENDENT, IpProtocol.UDP, private, remote
+        )
+        if mapping is None:
+            mapping = table.create(
+                MappingPolicy.ADDRESS_AND_PORT_DEPENDENT, IpProtocol.UDP, private, remote, 60
+            )
+        publics.append(mapping.public.port)
+    assert len(set(publics)) == len(remotes)
+
+
+@given(st.lists(remote_endpoints, min_size=2, max_size=20, unique=True))
+@settings(max_examples=50)
+def test_inbound_lookup_is_inverse_of_creation(remotes):
+    table = fresh_table(PortAllocation.RANDOM)
+    private = Endpoint("10.0.0.1", 4321)
+    for remote in remotes:
+        mapping = table.create(
+            MappingPolicy.ADDRESS_AND_PORT_DEPENDENT, IpProtocol.UDP, private, remote, 60
+        )
+        assert table.lookup_inbound(IpProtocol.UDP, mapping.public.port) is mapping
+
+
+@given(remote_endpoints, remote_endpoints)
+def test_mapping_key_policy_semantics(r1, r2):
+    private = Endpoint("10.0.0.1", 4321)
+    ei1 = mapping_key(MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, private, r1)
+    ei2 = mapping_key(MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, private, r2)
+    assert ei1 == ei2  # destination never matters
+    adp1 = mapping_key(MappingPolicy.ADDRESS_AND_PORT_DEPENDENT, IpProtocol.UDP, private, r1)
+    adp2 = mapping_key(MappingPolicy.ADDRESS_AND_PORT_DEPENDENT, IpProtocol.UDP, private, r2)
+    assert (adp1 == adp2) == (r1 == r2)  # injective in the destination
+    ad1 = mapping_key(MappingPolicy.ADDRESS_DEPENDENT, IpProtocol.UDP, private, r1)
+    ad2 = mapping_key(MappingPolicy.ADDRESS_DEPENDENT, IpProtocol.UDP, private, r2)
+    assert (ad1 == ad2) == (r1.ip == r2.ip)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), max_size=40))
+@settings(max_examples=60)
+def test_scheduler_fires_in_nondecreasing_time_order(delays):
+    s = Scheduler()
+    fired = []
+    for delay in delays:
+        s.call_later(delay, lambda d=delay: fired.append(s.now))
+    s.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(st.integers(0, SEQ_MOD - 1), st.integers(0, 2**16))
+def test_seq_arithmetic_add_diff_inverse(seq, n):
+    assert seq_diff(seq_add(seq, n), seq) == n
+    assert seq_ge(seq_add(seq, n), seq)
+
+
+@given(st.integers(0, SEQ_MOD - 1), st.integers(1, 2**30))
+def test_seq_ge_antisymmetric_within_window(seq, n):
+    later = seq_add(seq, n)
+    assert seq_ge(later, seq)
+    assert not seq_ge(seq, later)
+
+
+@given(st.integers(0, 0xFFFFFFFF))
+def test_private_address_classification_consistent(value):
+    from repro.netsim.addresses import IPv4Address, PRIVATE_NETWORKS
+
+    addr = IPv4Address(value)
+    assert is_private(addr) == any(addr in net for net in PRIVATE_NETWORKS)
+
+
+@given(st.integers(1, 40))
+@settings(max_examples=30)
+def test_address_pool_never_double_allocates(count):
+    pool = AddressPool(IPv4Network("10.0.0.0/24"))
+    allocated = [pool.allocate() for _ in range(min(count, 200))]
+    assert len(set(allocated)) == len(allocated)
+
+
+@given(
+    st.lists(st.binary(min_size=1, max_size=60), min_size=1, max_size=15),
+    st.integers(0, 1000),
+)
+@settings(max_examples=40, deadline=None)
+def test_tcp_delivers_any_payload_sequence_in_order(payloads, seed):
+    """End-to-end TCP stream property: arbitrary payloads arrive intact and
+    in order over a clean link."""
+    from tests.conftest import make_lan_pair, run_until
+
+    net, a, b = make_lan_pair(seed=seed)
+    accepted = []
+    b.stack.tcp.listen(80, on_accept=accepted.append)
+    client = a.stack.tcp.connect(Endpoint("192.0.2.2", 80))
+    run_until(net, lambda: accepted)
+    got = []
+    accepted[0].on_data = got.append
+    for payload in payloads:
+        client.send(payload)
+    net.run_until(net.now + 10)
+    assert b"".join(got) == b"".join(payloads)

@@ -1,0 +1,183 @@
+"""Wire protocol codec: roundtrips, obfuscation, framing, garbage handling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import protocol as p
+from repro.netsim.addresses import Endpoint
+from repro.util.errors import ProtocolError
+
+EP_A = Endpoint("10.0.0.1", 4321)
+EP_B = Endpoint("155.99.25.11", 62000)
+
+SAMPLE_MESSAGES = [
+    p.Register(client_id=1, private_ep=EP_A),
+    p.Registered(client_id=1, public_ep=EP_B, private_ep=EP_A),
+    p.ConnectRequest(requester_id=1, target_id=2, transport=p.TRANSPORT_UDP),
+    p.PeerEndpoints(peer_id=2, public_ep=EP_B, private_ep=EP_A, nonce=0xDEADBEEF,
+                    transport=p.TRANSPORT_TCP, role=p.PeerEndpoints.ROLE_RESPONDER),
+    p.RendezvousError(code=p.RendezvousError.UNKNOWN_PEER, detail=b"peer 2 not registered"),
+    p.Keepalive(client_id=7),
+    p.Punch(sender=1, receiver=2, nonce=(1 << 64) - 1),
+    p.PunchAck(sender=2, receiver=1, nonce=0),
+    p.SessionData(sender=1, receiver=2, nonce=5, payload=b"\x00\x01\xff" * 10),
+    p.SessionKeepalive(sender=1, receiver=2, nonce=5),
+    p.Hello(sender=1, receiver=2, nonce=9),
+    p.StreamSelect(sender=1, receiver=2, nonce=9),
+    p.StreamData(sender=1, payload=b"stream bytes"),
+    p.RelayPayload(sender=1, target=2, payload=b"relayed"),
+    p.ReverseRequest(requester_id=3, target_id=4),
+    p.ReverseConnect(peer_id=3, public_ep=EP_B, private_ep=EP_A, nonce=11),
+    p.ReverseExpect(peer_id=4, nonce=11),
+    p.TurnAllocate(client_id=5),
+    p.TurnAllocated(client_id=5, relay_ep=EP_B),
+    p.TurnSend(dest=EP_B, payload=b"relay me"),
+    p.TurnData(src=EP_B, payload=b"relayed"),
+    p.SeqRequest(requester_id=1, target_id=2),
+    p.SeqConnect(peer_id=1, public_ep=EP_B, private_ep=EP_A, nonce=12),
+    p.SeqReady(peer_id=1, public_ep=EP_B, private_ep=EP_A, nonce=12),
+]
+
+
+@pytest.mark.parametrize("message", SAMPLE_MESSAGES, ids=lambda m: type(m).__name__)
+def test_roundtrip_plain(message):
+    assert p.decode(p.encode(message)) == message
+
+
+@pytest.mark.parametrize("message", SAMPLE_MESSAGES, ids=lambda m: type(m).__name__)
+def test_roundtrip_obfuscated(message):
+    assert p.decode(p.encode(message, obfuscate=True)) == message
+
+
+def test_obfuscation_hides_ip_bytes():
+    """The raw private IP must not appear in the obfuscated encoding (§3.1)."""
+    message = p.Register(client_id=1, private_ep=EP_A)
+    plain = p.encode(message)
+    hidden = p.encode(message, obfuscate=True)
+    assert EP_A.ip.packed in plain
+    assert EP_A.ip.packed not in hidden
+
+
+def test_decode_bad_magic():
+    with pytest.raises(ProtocolError):
+        p.decode(b"\x00\x01\x01\x00" + b"junk")
+
+
+def test_decode_bad_version():
+    data = bytearray(p.encode(p.Keepalive(client_id=1)))
+    data[1] = 99
+    with pytest.raises(ProtocolError):
+        p.decode(bytes(data))
+
+
+def test_decode_unknown_type():
+    data = bytearray(p.encode(p.Keepalive(client_id=1)))
+    data[2] = 0xEE
+    with pytest.raises(ProtocolError):
+        p.decode(bytes(data))
+
+
+def test_decode_truncated_body():
+    data = p.encode(p.Register(client_id=1, private_ep=EP_A))
+    with pytest.raises(ProtocolError):
+        p.decode(data[:-3])
+
+
+def test_decode_trailing_garbage():
+    data = p.encode(p.Keepalive(client_id=1)) + b"extra"
+    with pytest.raises(ProtocolError):
+        p.decode(data)
+
+
+def test_try_decode_returns_none_on_garbage():
+    assert p.try_decode(b"not a message") is None
+    assert p.try_decode(b"") is None
+
+
+def test_error_reason_text():
+    e = p.RendezvousError(code=1, detail="pêer".encode())
+    assert e.reason == "pêer"
+
+
+class TestFraming:
+    def test_frame_roundtrip_single(self):
+        buf = p.FrameBuffer()
+        messages = buf.feed(p.frame(p.Keepalive(client_id=3)))
+        assert messages == [p.Keepalive(client_id=3)]
+
+    def test_frame_multiple_in_one_chunk(self):
+        data = p.frame(p.Keepalive(client_id=1)) + p.frame(p.Keepalive(client_id=2))
+        buf = p.FrameBuffer()
+        assert [m.client_id for m in buf.feed(data)] == [1, 2]
+
+    def test_frame_split_across_chunks(self):
+        data = p.frame(p.SessionData(sender=1, receiver=2, nonce=3, payload=b"x" * 100))
+        buf = p.FrameBuffer()
+        out = []
+        for i in range(0, len(data), 7):
+            out.extend(buf.feed(data[i : i + 7]))
+        assert len(out) == 1
+        assert out[0].payload == b"x" * 100
+        assert buf.pending_bytes == 0
+
+    def test_frame_partial_then_complete(self):
+        data = p.frame(p.Keepalive(client_id=9))
+        buf = p.FrameBuffer()
+        assert buf.feed(data[:1]) == []
+        assert buf.feed(data[1:]) == [p.Keepalive(client_id=9)]
+
+    def test_oversized_message_rejected(self):
+        with pytest.raises(ProtocolError):
+            p.frame(p.StreamData(sender=1, payload=b"x" * 70000))
+
+    def test_obfuscated_framing(self):
+        msg = p.PeerEndpoints(peer_id=1, public_ep=EP_B, private_ep=EP_A, nonce=4,
+                              transport=0, role=0)
+        buf = p.FrameBuffer()
+        assert buf.feed(p.frame(msg, obfuscate=True)) == [msg]
+
+
+# -- property-based -----------------------------------------------------------
+
+endpoints = st.builds(
+    Endpoint,
+    st.integers(0, 0xFFFFFFFF),
+    st.integers(0, 0xFFFF),
+)
+
+
+@given(
+    st.integers(0, 0xFFFFFFFF),
+    endpoints,
+    endpoints,
+    st.integers(0, (1 << 64) - 1),
+    st.booleans(),
+)
+def test_peer_endpoints_roundtrip_property(peer, pub, priv, nonce, obfuscate):
+    msg = p.PeerEndpoints(peer_id=peer, public_ep=pub, private_ep=priv, nonce=nonce,
+                          transport=p.TRANSPORT_UDP, role=1)
+    assert p.decode(p.encode(msg, obfuscate)) == msg
+
+
+@given(st.binary(max_size=1024), st.booleans())
+def test_session_data_payload_roundtrip(payload, obfuscate):
+    msg = p.SessionData(sender=1, receiver=2, nonce=3, payload=payload)
+    assert p.decode(p.encode(msg, obfuscate)) == msg
+
+
+@given(st.binary(max_size=64))
+def test_decode_never_crashes_on_garbage(data):
+    try:
+        p.decode(data)
+    except ProtocolError:
+        pass  # the only acceptable exception
+
+
+@given(st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=20), st.integers(1, 13))
+def test_framebuffer_reassembles_any_chunking(ids, chunk_size):
+    stream = b"".join(p.frame(p.Keepalive(client_id=i)) for i in ids)
+    buf = p.FrameBuffer()
+    out = []
+    for i in range(0, len(stream), chunk_size):
+        out.extend(buf.feed(stream[i : i + chunk_size]))
+    assert [m.client_id for m in out] == ids

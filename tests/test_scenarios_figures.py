@@ -1,0 +1,134 @@
+"""Topology builders and the per-figure scenario runners."""
+
+import pytest
+
+from repro.nat import behavior as B
+from repro.scenarios import (
+    build_common_nat,
+    build_multilevel,
+    build_one_sided,
+    build_public_pair,
+    build_two_nats,
+)
+from repro.scenarios.figures import (
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+)
+from repro.transport.tcp import TcpStyle
+from repro.util.errors import TimeoutError_
+
+
+class TestBuilders:
+    def test_two_nats_uses_paper_addresses(self):
+        sc = build_two_nats(seed=1)
+        assert str(sc.hosts["S"].primary_ip) == "18.181.0.31"
+        assert str(sc.nats["A"].public_ip) == "155.99.25.11"
+        assert str(sc.nats["B"].public_ip) == "138.76.29.7"
+        assert str(sc.hosts["A"].primary_ip) == "10.0.0.1"
+        assert str(sc.hosts["B"].primary_ip) == "10.1.1.3"
+
+    def test_client_ids(self):
+        sc = build_two_nats(seed=2)
+        assert sc.clients["A"].client_id == 1
+        assert sc.clients["B"].client_id == 2
+
+    def test_collision_variant_has_decoy(self):
+        sc = build_two_nats(seed=3, private_collision=True)
+        assert str(sc.hosts["decoy"].primary_ip) == "10.1.1.3"
+        assert str(sc.hosts["A"].primary_ip) == "10.1.1.2"
+
+    def test_common_nat_single_device(self):
+        sc = build_common_nat(seed=4)
+        assert list(sc.nats) == ["AB"]
+
+    def test_multilevel_three_nats(self):
+        sc = build_multilevel(seed=5)
+        assert set(sc.nats) == {"A", "B", "C"}
+        assert str(sc.nats["A"].public_ip) == "10.0.1.1"
+        assert str(sc.nats["B"].public_ip) == "10.0.1.2"
+        assert str(sc.nats["C"].public_ip) == "155.99.25.11"
+
+    def test_one_sided_only_a_nated(self):
+        sc = build_one_sided(seed=6)
+        assert list(sc.nats) == ["A"]
+        assert str(sc.hosts["B"].primary_ip) == "138.76.29.7"
+
+    def test_wait_for_timeout_raises(self):
+        sc = build_two_nats(seed=7)
+        with pytest.raises(TimeoutError_):
+            sc.wait_for(lambda: False, timeout=1.0)
+
+    def test_register_all_both_transports(self):
+        sc = build_two_nats(seed=8)
+        sc.register_all_udp()
+        sc.register_all_tcp()
+        assert all(c.udp_registered and c.tcp_registered for c in sc.clients.values())
+
+
+class TestFigureRunners:
+    def test_figure1(self):
+        result = run_figure1(seed=1)
+        assert result.success
+        assert result.metrics["reachability"]["private->public"]
+
+    def test_figure2_relay_slower_than_direct(self):
+        result = run_figure2(seed=2, messages=10)
+        assert result.success
+        assert result.metrics["relay_overhead_x"] > 1.0
+        assert result.metrics["server_relayed_bytes"] > 0
+
+    def test_figure3(self):
+        result = run_figure3(seed=3)
+        assert result.success
+        assert result.metrics["direct_attempt"] == "blocked"
+
+    def test_figure4_private_route(self):
+        result = run_figure4(seed=4)
+        assert result.success
+        assert result.metrics["used_private_route"]
+
+    def test_figure5_matches_paper_endpoints(self):
+        result = run_figure5(seed=5)
+        assert result.success
+        assert result.metrics["locked_matches_paper"]
+        assert result.metrics["a_public"] == "155.99.25.11:62000"
+        assert result.metrics["b_public"] == "138.76.29.7:31000"
+
+    def test_figure5_symmetric_fails(self):
+        result = run_figure5(seed=6, behavior_a=B.SYMMETRIC_RANDOM,
+                             behavior_b=B.SYMMETRIC_RANDOM)
+        assert not result.success
+
+    def test_figure6_both_arms(self):
+        assert run_figure6(seed=7, hairpin=True).success
+        assert run_figure6(seed=7, hairpin=False).success  # failure expected => success
+
+    def test_figure7_census(self):
+        result = run_figure7(seed=8)
+        assert result.success
+        census = result.metrics["socket_census_mid_punch"]
+        # Mid-punch each side has the control conn + 2 connects on one port,
+        # plus the listener.
+        assert census["A"]["listeners"] == 1
+        assert census["A"]["connections"] >= 2
+
+    def test_figure7_listen_preferred_pair(self):
+        result = run_figure7(seed=9, style_a=TcpStyle.LISTEN_PREFERRED,
+                             style_b=TcpStyle.LISTEN_PREFERRED)
+        assert result.success
+        assert result.metrics["a_origin"] == "accept"
+
+    def test_figure8_classifies_presets(self):
+        assert run_figure8(seed=10, behavior=B.WELL_BEHAVED).success
+        assert run_figure8(seed=11, behavior=B.SYMMETRIC).success
+        assert run_figure8(seed=12, behavior=B.RST_SENDER).success
+
+    def test_describe_renders(self):
+        text = run_figure1(seed=13).describe()
+        assert "Figure 1" in text and "SUCCESS" in text

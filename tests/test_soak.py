@@ -1,0 +1,61 @@
+"""Soak test: an hour of virtual time with live sessions — no state leaks."""
+
+from repro.core.udp_punch import PunchConfig
+from repro.scenarios import build_two_nats
+
+
+def test_one_virtual_hour_of_chat_leaks_nothing():
+    sc = build_two_nats(seed=77)
+    config = PunchConfig(keepalive_interval=15.0)
+    for c in sc.clients.values():
+        c.punch_config = config
+        c.start_server_keepalives(interval=20.0)
+    sc.register_all_udp()
+    sessions = {}
+    sc.clients["B"].on_peer_session = lambda s: sessions.setdefault("b", s)
+    sc.clients["A"].connect_udp(2, on_session=lambda s: sessions.setdefault("a", s),
+                                config=config)
+    sc.wait_for(lambda: "a" in sessions and "b" in sessions, 20.0)
+    received = {"a": 0, "b": 0}
+    sessions["a"].on_data = lambda d: received.__setitem__("a", received["a"] + 1)
+    sessions["b"].on_data = lambda d: received.__setitem__("b", received["b"] + 1)
+
+    def chatter():
+        if sessions["a"].alive:
+            sessions["a"].send(b"tick")
+            sessions["b"].send(b"tock")
+            sc.scheduler.call_later(10.0, chatter)
+
+    chatter()
+    heap_samples, mapping_samples = [], []
+    for _ in range(60):  # 60 x 60 s = one virtual hour
+        sc.run_for(60.0)
+        heap_samples.append(len(sc.scheduler._heap))
+        mapping_samples.append(sum(len(n.table) for n in sc.nats.values()))
+    # Sessions survived the hour.
+    assert sessions["a"].alive and sessions["b"].alive
+    assert received["a"] >= 100 and received["b"] >= 100
+    # No unbounded growth: the timer heap and NAT tables stay flat.
+    assert max(heap_samples) < 50
+    assert max(mapping_samples) <= 2  # one UDP mapping per NAT
+    # Chat every 10 s beats the 15 s keepalive interval: keepalives stay
+    # suppressed (§3.6 — keepalives exist for *idle* sessions).
+    assert sessions["a"].keepalives_sent < 20
+
+
+def test_hundred_sequential_punches_no_leaks():
+    """Open and close 100 sessions; client and NAT state returns to zero."""
+    sc = build_two_nats(seed=78)
+    sc.register_all_udp()
+    a = sc.clients["A"]
+    config = PunchConfig(keepalive_interval=0.0)  # no keepalive timers
+    for round_number in range(100):
+        done = {}
+        a.connect_udp(2, on_session=lambda s: done.setdefault("s", s), config=config)
+        sc.wait_for(lambda: "s" in done, 20.0)
+        done["s"].close(notify_peer=True)
+        sc.run_for(0.5)
+    assert a.sessions == {}
+    assert a.punchers == {}
+    assert sc.clients["B"].sessions == {}
+    assert len(sc.scheduler._heap) < 200

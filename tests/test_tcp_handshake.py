@@ -1,0 +1,270 @@
+"""TCP state machine: handshake, data transfer, teardown, errors, loss."""
+
+import pytest
+
+from repro.netsim.addresses import Endpoint
+from repro.netsim.link import LinkProfile
+from repro.netsim.network import Network
+from repro.transport.stack import attach_stack
+from repro.transport.tcp import TcpState
+from repro.util.errors import ConnectionError_
+
+from tests.conftest import make_lan_pair, run_until
+
+B_EP = Endpoint("192.0.2.2", 80)
+
+
+def connect_pair(net, a, b, port=80):
+    """Helper: b listens, a connects; returns (client_conn, server_conn)."""
+    accepted = []
+    b.stack.tcp.listen(port, on_accept=accepted.append)
+    connected = []
+    client = a.stack.tcp.connect(
+        Endpoint("192.0.2.2", port),
+        on_connected=lambda c: connected.append(c),
+        on_error=lambda e: connected.append(e),
+    )
+    run_until(net, lambda: connected and accepted)
+    assert isinstance(connected[0], type(client))
+    return client, accepted[0]
+
+
+def test_three_way_handshake():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    assert client.state is TcpState.ESTABLISHED
+    assert server.state is TcpState.ESTABLISHED
+    assert server.passive and not client.passive
+
+
+def test_connection_endpoints():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    assert client.remote == Endpoint("192.0.2.2", 80)
+    assert server.remote.ip == Endpoint("192.0.2.1", 0).ip
+    assert client.local == server.remote
+
+
+def test_data_both_directions():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    got_server, got_client = [], []
+    server.on_data = got_server.append
+    client.on_data = got_client.append
+    client.send(b"question")
+    server.send(b"answer")
+    net.run_until(net.now + 1)
+    assert got_server == [b"question"]
+    assert got_client == [b"answer"]
+
+
+def test_large_transfer_in_order():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    chunks = []
+    server.on_data = chunks.append
+    for i in range(50):
+        client.send(bytes([i]) * 10)
+    net.run_until(net.now + 5)
+    data = b"".join(chunks)
+    assert data == b"".join(bytes([i]) * 10 for i in range(50))
+    assert server.bytes_received == 500
+
+
+def test_send_before_established_buffers():
+    net, a, b = make_lan_pair()
+    accepted = []
+    b.stack.tcp.listen(80, on_accept=accepted.append)
+    client = a.stack.tcp.connect(B_EP)
+    client.send(b"early")  # still SYN_SENT
+    got = []
+    run_until(net, lambda: accepted)
+    accepted[0].on_data = got.append
+    net.run_until(net.now + 1)
+    assert got == [b"early"]
+
+
+def test_connection_refused_gets_rst():
+    net, a, b = make_lan_pair()
+    errors = []
+    a.stack.tcp.connect(B_EP, on_error=errors.append)
+    run_until(net, lambda: errors)
+    assert errors[0].reason == "reset"
+
+
+def test_connect_timeout_when_peer_silent():
+    net = Network(seed=1)
+    link = net.create_link("wire", LinkProfile(loss=1.0))
+    a = net.add_host("a", ip="192.0.2.1", network="192.0.2.0/24", link=link)
+    net.add_host("b", ip="192.0.2.2", network="192.0.2.0/24", link=link)
+    attach_stack(a)
+    errors = []
+    a.stack.tcp.connect(B_EP, on_error=errors.append)
+    net.run_until(80.0)
+    assert errors and errors[0].reason == "timeout"
+
+
+def test_syn_retransmission_succeeds_over_lossy_link():
+    net = Network(seed=5)
+    link = net.create_link("wire", LinkProfile(latency=0.01, loss=0.3))
+    a = net.add_host("a", ip="192.0.2.1", network="192.0.2.0/24", link=link)
+    b = net.add_host("b", ip="192.0.2.2", network="192.0.2.0/24", link=link)
+    attach_stack(a, rng=net.rng.child("a"))
+    attach_stack(b, rng=net.rng.child("b"))
+    accepted, connected = [], []
+    b.stack.tcp.listen(80, on_accept=accepted.append)
+    a.stack.tcp.connect(B_EP, on_connected=connected.append, on_error=connected.append)
+    net.run_until(30.0)
+    assert connected and not isinstance(connected[0], Exception)
+
+
+def test_data_retransmission_over_lossy_link():
+    net = Network(seed=8)
+    link = net.create_link("wire", LinkProfile(latency=0.01, loss=0.25))
+    a = net.add_host("a", ip="192.0.2.1", network="192.0.2.0/24", link=link)
+    b = net.add_host("b", ip="192.0.2.2", network="192.0.2.0/24", link=link)
+    attach_stack(a, rng=net.rng.child("a"))
+    attach_stack(b, rng=net.rng.child("b"))
+    accepted = []
+    b.stack.tcp.listen(80, on_accept=accepted.append)
+    client = a.stack.tcp.connect(B_EP)
+    run_until(net, lambda: accepted, 30.0)
+    got = []
+    accepted[0].on_data = got.append
+    for i in range(20):
+        client.send(f"chunk-{i:02d}".encode())
+    net.run_until(net.now + 60)
+    assert b"".join(got) == b"".join(f"chunk-{i:02d}".encode() for i in range(20))
+
+
+def test_orderly_close_notifies_peer():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    closed = []
+    server.on_close = lambda: closed.append("server")
+    client.close()
+    net.run_until(net.now + 2)
+    assert closed == ["server"]
+    assert server.state is TcpState.CLOSE_WAIT
+    assert client.state is TcpState.FIN_WAIT_2
+
+
+def test_full_close_both_sides_reach_closed():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    client.close()
+    net.run_until(net.now + 1)
+    server.close()
+    net.run_until(net.now + 5)  # covers TIME_WAIT
+    assert client.state is TcpState.CLOSED
+    assert server.state is TcpState.CLOSED
+    # Both connection table entries are gone.
+    assert client not in a.stack.tcp.connections
+    assert server not in b.stack.tcp.connections
+
+
+def test_simultaneous_close():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    client.close()
+    server.close()
+    net.run_until(net.now + 5)
+    assert client.state is TcpState.CLOSED
+    assert server.state is TcpState.CLOSED
+
+
+def test_abort_sends_rst():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    errors = []
+    server.on_error = errors.append
+    client.abort()
+    net.run_until(net.now + 1)
+    assert errors and errors[0].reason == "reset"
+    assert server.state is TcpState.CLOSED
+
+
+def test_send_after_close_raises():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    client.close()
+    with pytest.raises(ConnectionError_):
+        client.send(b"too late")
+
+
+def test_data_after_fin_from_peer_still_sendable():
+    """Half-close: the side in CLOSE_WAIT can still send."""
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    client.close()
+    net.run_until(net.now + 1)
+    got = []
+    client.on_data = got.append
+    server.send(b"late data")
+    net.run_until(net.now + 1)
+    assert got == [b"late data"]
+
+
+def test_duplicate_segments_not_redelivered():
+    net, a, b = make_lan_pair()
+    client, server = connect_pair(net, a, b)
+    got = []
+    server.on_data = got.append
+    client.send(b"once")
+    net.run_until(net.now + 1)
+    # Force a spurious retransmission of the queued segment: the receiver
+    # must ACK but not re-deliver. We simulate by sending an identical
+    # segment directly.
+    from repro.netsim.packet import TcpFlags, tcp_packet
+
+    dup = tcp_packet(client.local, client.remote, TcpFlags.ACK,
+                     seq=client.snd_nxt - 4, ack=client.rcv_nxt, payload=b"once")
+    a.send(dup)
+    net.run_until(net.now + 1)
+    assert got == [b"once"]
+
+
+def test_connect_rejects_duplicate_four_tuple():
+    net, a, b = make_lan_pair()
+    b.stack.tcp.listen(80)
+    a.stack.tcp.connect(B_EP, local_port=1234, reuse=True)
+    with pytest.raises(ConnectionError_):
+        a.stack.tcp.connect(B_EP, local_port=1234, reuse=True)
+
+
+def test_stray_ack_gets_rst():
+    net, a, b = make_lan_pair()
+    from repro.netsim.packet import TcpFlags, tcp_packet
+
+    a.send(tcp_packet(Endpoint("192.0.2.1", 5555), Endpoint("192.0.2.2", 5556),
+                      TcpFlags.ACK, seq=1, ack=1))
+    net.run()
+    assert b.stack.tcp.rsts_sent == 1
+
+
+def test_backlog_limits_half_open_connections():
+    """With backlog=1, the second of two simultaneous SYNs is refused; with
+    backlog=2 both handshakes complete."""
+    net, a, b = make_lan_pair()
+    b.stack.tcp.listen(80, backlog=1)
+    outcomes = []
+    a.stack.tcp.connect(B_EP, local_port=1001,
+                        on_connected=lambda c: outcomes.append("ok"),
+                        on_error=lambda e: outcomes.append(e.reason))
+    a.stack.tcp.connect(B_EP, local_port=1002,
+                        on_connected=lambda c: outcomes.append("ok"),
+                        on_error=lambda e: outcomes.append(e.reason))
+    run_until(net, lambda: len(outcomes) == 2)
+    assert sorted(outcomes) == ["ok", "reset"]
+
+    net2, a2, b2 = make_lan_pair(seed=2)
+    b2.stack.tcp.listen(80, backlog=2)
+    outcomes2 = []
+    a2.stack.tcp.connect(B_EP, local_port=1001,
+                         on_connected=lambda c: outcomes2.append("ok"),
+                         on_error=lambda e: outcomes2.append(e.reason))
+    a2.stack.tcp.connect(B_EP, local_port=1002,
+                         on_connected=lambda c: outcomes2.append("ok"),
+                         on_error=lambda e: outcomes2.append(e.reason))
+    run_until(net2, lambda: len(outcomes2) == 2)
+    assert outcomes2 == ["ok", "ok"]

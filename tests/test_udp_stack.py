@@ -1,0 +1,118 @@
+"""Unit tests for the UDP socket layer."""
+
+import pytest
+
+from repro.netsim.addresses import Endpoint
+from repro.util.errors import BindError
+
+from tests.conftest import make_lan_pair, run_until
+
+
+def test_bind_and_exchange():
+    net, a, b = make_lan_pair()
+    sa = a.stack.udp.socket(1000)
+    sb = b.stack.udp.socket(2000)
+    got = []
+    sb.on_datagram = lambda d, src: got.append((d, src))
+    sa.sendto(b"ping", Endpoint("192.0.2.2", 2000))
+    net.run()
+    assert got == [(b"ping", Endpoint("192.0.2.1", 1000))]
+
+
+def test_reply_to_source():
+    net, a, b = make_lan_pair()
+    sa, sb = a.stack.udp.socket(1000), b.stack.udp.socket(2000)
+    got = []
+    sb.on_datagram = lambda d, src: sb.sendto(b"pong", src)
+    sa.on_datagram = lambda d, src: got.append(d)
+    sa.sendto(b"ping", Endpoint("192.0.2.2", 2000))
+    net.run()
+    assert got == [b"pong"]
+
+
+def test_duplicate_bind_rejected():
+    net, a, _ = make_lan_pair()
+    a.stack.udp.socket(1000)
+    with pytest.raises(BindError):
+        a.stack.udp.socket(1000)
+
+
+def test_ephemeral_allocation_distinct():
+    net, a, _ = make_lan_pair()
+    s1, s2 = a.stack.udp.socket(0), a.stack.udp.socket(0)
+    assert s1.local.port != s2.local.port
+    assert s1.local.port >= 49152
+
+
+def test_close_releases_port():
+    net, a, _ = make_lan_pair()
+    s = a.stack.udp.socket(1000)
+    s.close()
+    a.stack.udp.socket(1000)  # no error
+
+
+def test_send_on_closed_raises():
+    net, a, _ = make_lan_pair()
+    s = a.stack.udp.socket(1000)
+    s.close()
+    with pytest.raises(BindError):
+        s.sendto(b"x", Endpoint("192.0.2.2", 1))
+
+
+def test_unbound_port_drops():
+    net, a, b = make_lan_pair()
+    sa = a.stack.udp.socket(1000)
+    sa.sendto(b"x", Endpoint("192.0.2.2", 9999))
+    net.run()
+    assert b.stack.udp.packets_dropped == 1
+
+
+def test_exact_bind_preferred_over_wildcard():
+    net, a, b = make_lan_pair()
+    wildcard = b.stack.udp.socket(2000)  # wildcard ip
+    exact = b.stack.udp.socket(2000, ip="192.0.2.2")
+    got = {"wild": [], "exact": []}
+    wildcard.on_datagram = lambda d, s: got["wild"].append(d)
+    exact.on_datagram = lambda d, s: got["exact"].append(d)
+    a.stack.udp.socket(1000).sendto(b"x", Endpoint("192.0.2.2", 2000))
+    net.run()
+    assert got["exact"] == [b"x"]
+    assert got["wild"] == []
+
+
+def test_wildcard_receives_when_no_exact():
+    net, a, b = make_lan_pair()
+    wildcard = b.stack.udp.socket(2000)
+    got = []
+    wildcard.on_datagram = lambda d, s: got.append(d)
+    a.stack.udp.socket(1000).sendto(b"x", Endpoint("192.0.2.2", 2000))
+    net.run()
+    assert got == [b"x"]
+
+
+def test_counters():
+    net, a, b = make_lan_pair()
+    sa, sb = a.stack.udp.socket(1000), b.stack.udp.socket(2000)
+    sb.on_datagram = lambda d, s: None
+    for _ in range(3):
+        sa.sendto(b"x", Endpoint("192.0.2.2", 2000))
+    net.run()
+    assert sa.datagrams_sent == 3
+    assert sb.datagrams_received == 3
+
+
+def test_one_socket_many_peers():
+    """§4.2: with UDP one socket talks to any number of peers."""
+    net, a, b = make_lan_pair()
+    sa = a.stack.udp.socket(4321)
+    peers = [b.stack.udp.socket(p) for p in (5001, 5002, 5003)]
+    seen = []
+    for s in peers:
+        s.on_datagram = lambda d, src, s=s: (seen.append(s.local.port), s.sendto(b"r", src))
+    replies = []
+    sa.on_datagram = lambda d, src: replies.append(src.port)
+    for s in peers:
+        sa.sendto(b"hello", s.local)
+    net.run()
+    assert sorted(seen) == [5001, 5002, 5003]
+    assert sorted(replies) == [5001, 5002, 5003]

@@ -1,0 +1,100 @@
+"""Unit tests for the util package: seeded RNG and error hierarchy."""
+
+import pytest
+
+from repro.util.errors import (
+    AddressError,
+    BindError,
+    ConnectionError_,
+    ProtocolError,
+    ReproError,
+    RoutingError,
+    TimeoutError_,
+)
+from repro.util.rng import SeededRng
+
+
+class TestSeededRng:
+    def test_same_seed_same_stream(self):
+        a, b = SeededRng(42), SeededRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert SeededRng(1).random() != SeededRng(2).random()
+
+    def test_children_are_independent_namespaces(self):
+        parent = SeededRng(7)
+        x, y = parent.child("x"), parent.child("y")
+        assert x.random() != y.random()
+        # Re-deriving gives the same stream.
+        assert parent.child("x").random() == SeededRng(7).child("x").random()
+
+    def test_child_does_not_perturb_parent(self):
+        a, b = SeededRng(5), SeededRng(5)
+        a.child("anything")
+        assert a.random() == b.random()
+
+    def test_randint_bounds(self):
+        rng = SeededRng(1)
+        values = [rng.randint(3, 5) for _ in range(100)]
+        assert set(values) <= {3, 4, 5}
+        assert len(set(values)) == 3
+
+    def test_uniform_bounds(self):
+        rng = SeededRng(1)
+        assert all(1.0 <= rng.uniform(1.0, 2.0) <= 2.0 for _ in range(50))
+
+    def test_chance_extremes(self):
+        rng = SeededRng(1)
+        assert all(rng.chance(1.0) for _ in range(10))
+        assert not any(rng.chance(0.0) for _ in range(10))
+
+    def test_bytes_length(self):
+        rng = SeededRng(1)
+        assert len(rng.bytes(16)) == 16
+        assert rng.bytes(0) == b""
+
+    def test_nonces_in_range(self):
+        rng = SeededRng(1)
+        assert 0 <= rng.nonce32() < (1 << 32)
+        assert 0 <= rng.nonce64() < (1 << 64)
+
+    def test_choice_and_shuffle_deterministic(self):
+        items = list(range(20))
+        a, b = SeededRng(3), SeededRng(3)
+        la, lb = list(items), list(items)
+        a.shuffle(la)
+        b.shuffle(lb)
+        assert la == lb
+        assert a.choice(items) == b.choice(items)
+
+    def test_sample(self):
+        rng = SeededRng(1)
+        s = rng.sample(range(100), 10)
+        assert len(s) == len(set(s)) == 10
+
+
+class TestErrors:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            AddressError("x"),
+            BindError("x"),
+            ConnectionError_("reset"),
+            ProtocolError("x"),
+            RoutingError("x"),
+            TimeoutError_("x"),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_connection_error_reason(self):
+        e = ConnectionError_("reset", "connection reset by peer")
+        assert e.reason == "reset"
+        assert "reset by peer" in str(e)
+
+    def test_connection_error_defaults_message_to_reason(self):
+        assert str(ConnectionError_("unreachable")) == "unreachable"
+
+    def test_builtin_compatibility(self):
+        assert isinstance(AddressError("x"), ValueError)
+        assert isinstance(BindError("x"), OSError)
+        assert isinstance(TimeoutError_("x"), OSError)
