@@ -1,0 +1,117 @@
+"""Emit ``BENCH_obs.json``: the substrate's throughput record.
+
+Archives three wall-clock numbers so perf PRs have a baseline to diff
+against: raw scheduler event throughput, end-to-end packet throughput
+through a NAT, and the Table 1 fleet's wall time.  All three are measured
+with :class:`repro.obs.profile.RunProfiler` — the same hook
+``test_simulator_perf.py`` asserts against.
+
+Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--quick] [-o PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+from repro.nat import behavior as B
+from repro.nat.device import NatDevice
+from repro.natcheck.fleet import VENDOR_SPECS, run_fleet
+from repro.netsim.addresses import Endpoint
+from repro.netsim.clock import Scheduler
+from repro.netsim.link import LAN_LINK
+from repro.netsim.network import Network
+from repro.obs.profile import RunProfiler
+from repro.transport.stack import attach_stack
+
+
+def bench_scheduler(events: int = 50_000) -> dict:
+    """Self-rescheduling timer chain: pure heap push/pop throughput."""
+    scheduler = Scheduler()
+    count = {"n": 0}
+
+    def tick() -> None:
+        count["n"] += 1
+        if count["n"] < events:
+            scheduler.call_later(0.001, tick)
+
+    scheduler.call_later(0.0, tick)
+    with RunProfiler(scheduler=scheduler) as prof:
+        scheduler.run(max_events=events * 2)
+    assert count["n"] == events
+    return prof.to_dict()
+
+
+def bench_packets(packets: int = 5_000) -> dict:
+    """UDP echo round trips through one NAT: link + NAT + stack hot paths."""
+    net = Network(seed=1)
+    backbone = net.create_link("backbone")
+    server = net.add_host("S", ip="18.181.0.31", network="0.0.0.0/0", link=backbone)
+    attach_stack(server)
+    nat = NatDevice("NAT", net.scheduler, B.WELL_BEHAVED, rng=net.rng.child("n"))
+    net.add_node(nat)
+    nat.set_wan("155.99.25.11", "0.0.0.0/0", backbone)
+    lan = net.create_link("lan", LAN_LINK)
+    nat.add_lan("10.0.0.254", "10.0.0.0/24", lan)
+    client = net.add_host(
+        "C", ip="10.0.0.1", network="10.0.0.0/24", link=lan, gateway="10.0.0.254"
+    )
+    attach_stack(client)
+    echo = server.stack.udp.socket(1234)
+    echo.on_datagram = lambda d, src: echo.sendto(d, src)
+    received = []
+    sock = client.stack.udp.socket(4321)
+    sock.on_datagram = lambda d, src: received.append(d)
+    for _ in range(packets):
+        sock.sendto(b"x" * 32, Endpoint("18.181.0.31", 1234))
+    with RunProfiler(network=net) as prof:
+        net.run_until(30.0)
+    assert len(received) == packets
+    return prof.to_dict()
+
+
+def bench_fleet(quick: bool = False) -> dict:
+    """Wall time of the Table 1 fleet — the workload users actually wait on."""
+    specs = VENDOR_SPECS[:2] if quick else VENDOR_SPECS
+    started = time.perf_counter()
+    fleet = run_fleet(specs=specs, seed=42)
+    wall = time.perf_counter() - started
+    return {
+        "wall_seconds": wall,
+        "devices": fleet.total_devices,
+        "devices_per_second": fleet.total_devices / wall if wall > 0 else 0.0,
+        "quick": quick,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fleet bench uses only the first two vendors")
+    parser.add_argument("-o", "--output", default="BENCH_obs.json")
+    args = parser.parse_args(argv)
+    record = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scheduler": bench_scheduler(),
+        "nat_udp_echo": bench_packets(),
+        "table1_fleet": bench_fleet(quick=args.quick),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(record, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    print(f"  scheduler: {record['scheduler']['events_per_second']:,.0f} events/s")
+    print(f"  nat echo:  {record['nat_udp_echo']['packets_per_second']:,.0f} packets/s")
+    print(
+        "  fleet:     {devices} devices in {wall_seconds:.2f}s "
+        "({devices_per_second:.1f}/s)".format(**record["table1_fleet"])
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

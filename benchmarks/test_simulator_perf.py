@@ -5,13 +5,45 @@ regressions in the hot paths (scheduler heap, link delivery, NAT
 translation) are visible.  The 380-device Table 1 fleet leans on these.
 """
 
+import time
+
 from repro.nat import behavior as B
 from repro.nat.device import NatDevice
 from repro.netsim.addresses import Endpoint
 from repro.netsim.clock import Scheduler
 from repro.netsim.link import LAN_LINK
 from repro.netsim.network import Network
+from repro.obs.profile import RunProfiler
 from repro.transport.stack import attach_stack
+
+
+def _udp_echo_workload(metrics_enabled: bool = True, packets: int = 2_000):
+    """The NAT echo round-trip workload: client -> NAT -> server and back.
+
+    Returns ``(net, received)`` so callers can profile the run or check the
+    echo count.
+    """
+    net = Network(seed=1, metrics_enabled=metrics_enabled)
+    backbone = net.create_link("backbone")
+    server = net.add_host("S", ip="18.181.0.31", network="0.0.0.0/0", link=backbone)
+    attach_stack(server)
+    nat = NatDevice("NAT", net.scheduler, B.WELL_BEHAVED, rng=net.rng.child("n"))
+    net.add_node(nat)
+    nat.set_wan("155.99.25.11", "0.0.0.0/0", backbone)
+    lan = net.create_link("lan", LAN_LINK)
+    nat.add_lan("10.0.0.254", "10.0.0.0/24", lan)
+    client = net.add_host("C", ip="10.0.0.1", network="10.0.0.0/24", link=lan,
+                          gateway="10.0.0.254")
+    attach_stack(client)
+    echo = server.stack.udp.socket(1234)
+    echo.on_datagram = lambda d, src: echo.sendto(d, src)
+    received = []
+    sock = client.stack.udp.socket(4321)
+    sock.on_datagram = lambda d, src: received.append(d)
+    for _ in range(packets):
+        sock.sendto(b"x" * 32, Endpoint("18.181.0.31", 1234))
+    net.run_until(10.0)
+    return net, received
 
 
 def test_scheduler_event_throughput(benchmark):
@@ -82,3 +114,67 @@ def test_tcp_bulk_transfer_throughput(benchmark):
 
     transferred = benchmark(run)
     assert transferred == 256 * 1024
+
+
+def test_run_profiler_record_shape():
+    """RunProfiler degrades to zero rates when idle and emits a complete
+    BENCH record."""
+    net = Network(seed=1, metrics_enabled=True)
+    with RunProfiler(network=net) as idle:
+        pass  # nothing ran: rates must degrade to zero, not divide by zero
+    assert idle.events == 0 and idle.packets == 0
+    assert idle.events_per_second == 0.0 or idle.wall_seconds > 0
+    record = idle.to_dict()
+    for key in ("wall_seconds", "events", "packets", "events_per_second",
+                "packets_per_second", "time_dilation", "virtual_seconds"):
+        assert key in record
+    assert RunProfiler(network=Network(seed=1)).events_per_second == 0.0
+
+
+def test_profiler_wraps_active_run():
+    """Profiling the active simulation stretch yields positive rates."""
+    net = Network(seed=1, metrics_enabled=True)
+    backbone = net.create_link("backbone")
+    server = net.add_host("S", ip="18.181.0.31", network="0.0.0.0/0", link=backbone)
+    attach_stack(server)
+    client = net.add_host("C", ip="18.181.0.32", network="0.0.0.0/0", link=backbone)
+    attach_stack(client)
+    echo = server.stack.udp.socket(1234)
+    echo.on_datagram = lambda d, src: echo.sendto(d, src)
+    got = []
+    sock = client.stack.udp.socket(4321)
+    sock.on_datagram = lambda d, src: got.append(d)
+    for _ in range(1_000):
+        sock.sendto(b"y" * 32, Endpoint("18.181.0.31", 1234))
+    with RunProfiler(network=net) as prof:
+        net.run_until(10.0)
+    assert len(got) == 1_000
+    assert prof.events > 0 and prof.packets > 0
+    assert prof.events_per_second > 0 and prof.packets_per_second > 0
+    assert prof.time_dilation > 0
+
+
+def test_metrics_overhead_within_bounds():
+    """Instrumentation must stay cheap: metrics-on within 25% of metrics-off.
+
+    The collector design keeps hot paths at plain attribute increments, so
+    the expected overhead is ~0; the 1.25x bound plus absolute slack absorbs
+    scheduler jitter on shared CI hardware.
+    """
+
+    def timed(metrics_enabled: bool) -> float:
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            _, received = _udp_echo_workload(metrics_enabled=metrics_enabled)
+            elapsed = time.perf_counter() - started
+            assert len(received) == 2_000
+            best = min(best, elapsed)
+        return best
+
+    timed(True)  # warm caches before measuring
+    disabled = timed(False)
+    enabled = timed(True)
+    assert enabled <= disabled * 1.25 + 0.05, (
+        f"metrics overhead too high: enabled={enabled:.4f}s disabled={disabled:.4f}s"
+    )

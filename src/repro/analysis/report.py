@@ -13,7 +13,7 @@ from typing import Callable, List
 
 from repro.nat import behavior as B
 from repro.natcheck.fleet import run_fleet
-from repro.natcheck.table import render_table1
+from repro.natcheck.table import render_latency_appendix, render_table1
 from repro.scenarios.figures import (
     run_figure1,
     run_figure2,
@@ -87,10 +87,11 @@ def generate_report(seed: int = 7, quick: bool = False) -> str:
         fleet = run_fleet(seed=42)
         table = render_table1(fleet.reports)
         totals_ok = "310/380 (82%)" in table and "184/286 (64%)" in table
+        body = table + "\n\n" + render_latency_appendix(fleet.reports)
         sections.append(
             ReportSection(
                 title=f"Table 1: NAT Check fleet ({fleet.total_devices} devices)",
-                body=table,
+                body=body,
                 passed=totals_ok,
                 wall_seconds=time.monotonic() - started,
             )

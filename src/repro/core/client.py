@@ -58,6 +58,8 @@ from repro.core.tcp_sequential import (
 from repro.core.turn import TurnClient, TurnPairSession
 from repro.core.udp_punch import PunchConfig, UdpHolePuncher, UdpSession
 from repro.netsim.addresses import Endpoint
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import OUTCOME_ERROR, Span
 from repro.util.rng import SeededRng
 from repro.netsim.clock import Timer
 from repro.netsim.node import Host
@@ -153,6 +155,14 @@ class PeerClient:
         self.control_reconnects = 0
         self.reversal_dial_failures = 0
         self.stray_messages = 0
+        #: The owning network's registry (set on the host by Network.add_node);
+        #: standalone hosts get a private one so instrumentation never branches.
+        self.metrics: MetricsRegistry = getattr(host, "metrics", None) or MetricsRegistry(
+            now_fn=lambda: host.scheduler.now
+        )
+        #: Live connect-attempt spans keyed by (transport, peer_id); opened by
+        #: connect_udp/connect_tcp, handed to the puncher at endpoint exchange.
+        self._connect_spans: Dict[Tuple[int, int], Span] = {}
 
     # -- conveniences ------------------------------------------------------------
 
@@ -233,6 +243,9 @@ class PeerClient:
         if existing is not None and existing.alive:
             self.scheduler.call_later(0.0, on_session, existing)
             return
+        span = self.metrics.span("connect", transport="udp", peer=str(peer_id))
+        span.event("connect-request-sent")
+        self._connect_spans[(TRANSPORT_UDP, peer_id)] = span
         self._pending_udp[peer_id] = (on_session, on_failure, config)
         # Retransmit the request while it is pending: the request or the
         # server's forwarded endpoints may be lost in transit, and S keeps a
@@ -313,6 +326,9 @@ class PeerClient:
             on_session = self._deliver_incoming_session
             on_failure = None
             config = None
+        span = self._connect_spans.pop((TRANSPORT_UDP, peer_id), None)
+        if span is not None:
+            span.event("endpoints-received")
         puncher = UdpHolePuncher(
             client=self,
             peer_id=peer_id,
@@ -321,6 +337,7 @@ class PeerClient:
             on_session=on_session,
             on_failure=on_failure,
             config=config or self.punch_config,
+            span=span,
         )
         self.punchers[peer_id] = puncher
         puncher.start()
@@ -375,7 +392,10 @@ class PeerClient:
 
     def _udp_request_failed(self, error: RendezvousError) -> None:
         pending, self._pending_udp = self._pending_udp, {}
-        for _, (_, on_failure, _cfg) in pending.items():
+        for peer_id, (_, on_failure, _cfg) in pending.items():
+            span = self._connect_spans.pop((TRANSPORT_UDP, peer_id), None)
+            if span is not None:
+                span.finish(OUTCOME_ERROR, reason=error.reason)
             if on_failure is not None:
                 on_failure(ReproError(f"rendezvous error: {error.reason}"))
 
@@ -472,6 +492,9 @@ class PeerClient:
         """
         if not self.tcp_registered:
             raise ReproError("connect_tcp before TCP registration completed")
+        span = self.metrics.span("connect", transport="tcp", peer=str(peer_id))
+        span.event("connect-request-sent")
+        self._connect_spans[(TRANSPORT_TCP, peer_id)] = span
         self._pending_tcp[peer_id] = (on_stream, on_failure, config)
         self._send_server_tcp(
             ConnectRequest(
@@ -569,6 +592,9 @@ class PeerClient:
             on_stream = self._deliver_incoming_stream
             on_failure = None
             config = None
+        span = self._connect_spans.pop((TRANSPORT_TCP, peer_id), None)
+        if span is not None:
+            span.event("endpoints-received")
         puncher = TcpHolePuncher(
             client=self,
             peer_id=peer_id,
@@ -578,6 +604,7 @@ class PeerClient:
             on_stream=on_stream,
             on_failure=on_failure,
             config=config or self.tcp_punch_config,
+            span=span,
         )
         self.tcp_punchers[peer_id] = puncher
         self._register_stream_claimant(peer_id, message.nonce, puncher.offer_accepted)
@@ -585,7 +612,10 @@ class PeerClient:
 
     def _tcp_request_failed(self, error: RendezvousError) -> None:
         pending, self._pending_tcp = self._pending_tcp, {}
-        for _, (_, on_failure, _cfg) in pending.items():
+        for peer_id, (_, on_failure, _cfg) in pending.items():
+            span = self._connect_spans.pop((TRANSPORT_TCP, peer_id), None)
+            if span is not None:
+                span.finish(OUTCOME_ERROR, reason=error.reason)
             if on_failure is not None:
                 on_failure(ReproError(f"rendezvous error: {error.reason}"))
 

@@ -24,6 +24,7 @@ from repro.core.relay import RelaySession
 from repro.core.tcp_punch import TcpStream
 from repro.core.udp_punch import UdpSession
 from repro.core.protocol import TRANSPORT_TCP, TRANSPORT_UDP
+from repro.obs.spans import OUTCOME_ERROR, OUTCOME_FALLBACK, OUTCOME_OK
 
 Channel = Union[UdpSession, TcpStream, RelaySession]
 ResultHandler = Callable[["ConnectResult"], None]
@@ -98,7 +99,12 @@ class P2PConnector:
             # A dedicated TURN relay (§2.2) beats burdening S with data.
             strategies.append(STRATEGY_TURN)
         strategies.append(STRATEGY_RELAY)
-        self._run_phase(peer_id, strategies, 0, result, on_result)
+        span = self.client.metrics.span(
+            "connect.ladder",
+            peer=str(peer_id),
+            transport="udp" if self.transport == TRANSPORT_UDP else "tcp",
+        )
+        self._run_phase(peer_id, strategies, 0, result, on_result, span)
 
     # -- phases ------------------------------------------------------------------
 
@@ -109,10 +115,13 @@ class P2PConnector:
         index: int,
         result: ConnectResult,
         on_result: ResultHandler,
+        span=None,
     ) -> None:
         strategy = strategies[index]
         started = self.client.scheduler.now
         done = {"fired": False}
+        if span is not None:
+            span.event("strategy-started", strategy=strategy)
 
         def succeed(channel: Channel, detail: str = "") -> None:
             if done["fired"]:
@@ -122,6 +131,14 @@ class P2PConnector:
             result.attempts.append(ConnectOutcome(strategy, True, elapsed, detail))
             result.channel = channel
             result.strategy = strategy
+            if span is not None:
+                # Relayed channels are the §2.2 fallback, not a direct win.
+                outcome = (
+                    OUTCOME_FALLBACK
+                    if strategy in (STRATEGY_RELAY, STRATEGY_TURN)
+                    else OUTCOME_OK
+                )
+                span.finish(outcome, strategy=strategy)
             on_result(result)
 
         def fail(error: Exception) -> None:
@@ -132,9 +149,13 @@ class P2PConnector:
             result.attempts.append(
                 ConnectOutcome(strategy, False, elapsed, detail=str(error))
             )
+            if span is not None:
+                span.event("strategy-failed", strategy=strategy, detail=str(error))
             if index + 1 < len(strategies):
-                self._run_phase(peer_id, strategies, index + 1, result, on_result)
+                self._run_phase(peer_id, strategies, index + 1, result, on_result, span)
             else:  # pragma: no cover - relay cannot fail in-simulation
+                if span is not None:
+                    span.finish(OUTCOME_ERROR)
                 on_result(result)
 
         if strategy == STRATEGY_PUNCH:

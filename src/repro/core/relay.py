@@ -36,12 +36,16 @@ class RelaySession:
         self.closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        client.metrics.counter("relay.sessions_opened").inc()
+        self._sent_counter = client.metrics.counter("relay.bytes_sent")
+        self._received_counter = client.metrics.counter("relay.bytes_received")
 
     def send(self, payload: bytes) -> None:
         """Send *payload* to the peer via S."""
         if self.closed:
             raise ValueError("send on closed relay session")
         self.bytes_sent += len(payload)
+        self._sent_counter.inc(len(payload))
         message = RelayPayload(
             sender=self.client.client_id, target=self.peer_id, payload=payload
         )
@@ -60,6 +64,7 @@ class RelaySession:
 
     def _handle(self, message: RelayPayload) -> None:
         self.bytes_received += len(message.payload)
+        self._received_counter.inc(len(message.payload))
         if self.on_data is not None:
             self.on_data(message.payload)
 

@@ -27,6 +27,7 @@ from repro.core.auth import message_is_from_peer
 from repro.core.protocol import FrameBuffer, Hello, StreamData, StreamSelect
 from repro.netsim.addresses import Endpoint
 from repro.netsim.clock import Timer
+from repro.obs.spans import OUTCOME_LOCKED, OUTCOME_TIMEOUT, Span
 from repro.transport.tcp import TcpConnection
 from repro.util.errors import ConnectionError_, ProtocolError, TimeoutError_
 
@@ -185,12 +186,23 @@ class TcpHolePuncher:
         on_stream: StreamHandler,
         on_failure: Optional[FailureHandler],
         config: TcpPunchConfig,
+        span: Optional[Span] = None,
     ) -> None:
         self.client = client
         self.peer_id = peer_id
         self.nonce = nonce
         seen = set()
         self.candidates = [c for c in candidates if not (c in seen or seen.add(c))]
+        metrics = client.metrics
+        self._parent_span = span
+        self.span = (
+            span.child("punch.tcp")
+            if span is not None
+            else metrics.span("punch.tcp", peer=str(peer_id))
+        )
+        self._attempt_counter = metrics.counter("punch.tcp.connect_attempts")
+        self._retry_counter = metrics.counter("punch.tcp.retries")
+        self._in_use_counter = metrics.counter("punch.tcp.address_in_use")
         self.controlling = controlling
         self.on_stream = on_stream
         self.on_failure = on_failure
@@ -211,6 +223,11 @@ class TcpHolePuncher:
 
     def start(self) -> None:
         """§4.2 step 3: connect to all candidates while listening."""
+        self.span.event(
+            "punching-started",
+            candidates=len(self.candidates),
+            controlling=self.controlling,
+        )
         self._deadline_timer = self.client.scheduler.call_later(
             self.config.timeout, self._on_deadline
         )
@@ -227,6 +244,7 @@ class TcpHolePuncher:
         if self.finished:
             return
         self.connect_attempts += 1
+        self._attempt_counter.inc()
         try:
             conn = self.client.tcp_stack.connect(
                 endpoint,
@@ -259,6 +277,7 @@ class TcpHolePuncher:
             # §4.3: the listen socket claimed the session; the working stream
             # arrives via accept().  Ignore this failure.
             self.address_in_use_errors += 1
+            self._in_use_counter.inc()
             return
         # "connection reset" / "host unreachable" / timeout: §4.2 step 4 —
         # retry after a short delay up to the application-defined maximum.
@@ -269,6 +288,7 @@ class TcpHolePuncher:
         if remaining <= self.config.retry_delay:
             return
         self.retries += 1
+        self._retry_counter.inc()
         self._retry_timers.append(
             self.client.scheduler.call_later(self.config.retry_delay, self._attempt, endpoint)
         )
@@ -328,6 +348,9 @@ class TcpHolePuncher:
     def _stream_authenticated(self, stream: TcpStream) -> None:
         if self.finished:
             return
+        self.span.event(
+            "stream-authenticated", origin=stream.origin, remote=str(stream.remote)
+        )
         self.authenticated_streams.append(stream)
         if self.controlling and self._select_timer is None:
             self._select_timer = self.client.scheduler.call_later(
@@ -355,6 +378,15 @@ class TcpHolePuncher:
         self.elapsed = self.client.scheduler.now - self.started_at
         self.winner = stream
         stream.selected = True
+        metrics = self.client.metrics
+        metrics.counter("punch.tcp.succeeded").inc()
+        metrics.counter("punch.tcp.stream_origin", origin=stream.origin).inc()
+        metrics.histogram("punch.tcp.connect_seconds").observe(self.elapsed)
+        self.span.finish(
+            OUTCOME_LOCKED, remote=str(stream.remote), origin=stream.origin
+        )
+        if self._parent_span is not None:
+            self._parent_span.finish(OUTCOME_LOCKED)
         self._cancel_timers()
         self._abandon_in_flight(keep=stream.conn)
         for other in self.streams:
@@ -376,6 +408,10 @@ class TcpHolePuncher:
         if self.finished:
             return
         self.finished = True
+        self.client.metrics.counter("punch.tcp.failed").inc()
+        self.span.finish(OUTCOME_TIMEOUT)
+        if self._parent_span is not None:
+            self._parent_span.finish(OUTCOME_TIMEOUT)
         self._cancel_timers()
         self._abandon_in_flight(keep=None)
         for stream in self.streams:

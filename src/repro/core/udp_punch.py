@@ -28,6 +28,7 @@ from repro.core.protocol import (
 )
 from repro.netsim.addresses import Endpoint
 from repro.netsim.clock import Timer
+from repro.obs.spans import OUTCOME_LOCKED, OUTCOME_TIMEOUT, Span
 from repro.util.errors import TimeoutError_
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -100,6 +101,8 @@ class UdpSession:
         self._last_outbound = self.established_at
         self._last_inbound = self.established_at
         self._keepalive_timer: Optional[Timer] = None
+        client.metrics.counter("session.udp.established").inc()
+        self._keepalive_counter = client.metrics.counter("session.udp.keepalives")
         if config.keepalive_interval > 0:
             self._schedule_keepalive()
 
@@ -164,6 +167,7 @@ class UdpSession:
             return
         if now - self._last_outbound >= self.config.keepalive_interval - 1e-9:
             self.keepalives_sent += 1
+            self._keepalive_counter.inc()
             self._last_outbound = now
             self.client._send_peer(
                 SessionKeepalive(
@@ -178,6 +182,7 @@ class UdpSession:
     def _mark_broken(self) -> None:
         """The hole died (e.g. NAT idle timeout outlived our keepalives)."""
         self.broken = True
+        self.client.metrics.counter("session.udp.broken").inc()
         callback = self.on_broken
         self.close()
         if callback is not None:
@@ -215,6 +220,7 @@ class UdpSession:
             if now - self._last_outbound >= self.config.keepalive_interval / 2:
                 self._last_outbound = now
                 self.keepalives_sent += 1
+                self._keepalive_counter.inc()
                 self.client._send_peer(
                     SessionKeepalive(
                         sender=self.client.client_id,
@@ -246,23 +252,41 @@ class UdpHolePuncher:
         on_session: SessionHandler,
         on_failure: Optional[FailureHandler],
         config: PunchConfig,
+        span: Optional[Span] = None,
     ) -> None:
         self.client = client
         self.peer_id = peer_id
         self.nonce = nonce
+        # Remember where each candidate came from so the lock-in can be
+        # classified (public/private/predicted/peer-reflexive).
+        self._public_candidate = candidates[0] if candidates else None
+        self._private_candidate = candidates[1] if len(candidates) > 1 else None
+        self._predicted: set = set()
         if config.predict_ports and candidates:
             # §5.1 port prediction: the peer's NAT allocated `public.port`
             # for its session with S; a sequential allocator will hand the
             # punch session the next port(s).
             public = candidates[0]
-            candidates = list(candidates) + [
+            predicted = [
                 Endpoint(public.ip, public.port + k)
                 for k in range(1, config.predict_ports + 1)
                 if public.port + k <= 0xFFFF
             ]
+            self._predicted = set(predicted)
+            candidates = list(candidates) + predicted
         # Dedup while preserving order: public first, then private (§3.2).
         seen = set()
         self.candidates = [c for c in candidates if not (c in seen or seen.add(c))]
+        metrics = client.metrics
+        self._parent_span = span
+        self.span = (
+            span.child("punch.udp")
+            if span is not None
+            else metrics.span("punch.udp", peer=str(peer_id))
+        )
+        self._probe_counter = metrics.counter("punch.udp.probes_sent")
+        self._ack_counter = metrics.counter("punch.udp.acks_received")
+        self._reflexive_counter = metrics.counter("punch.udp.peer_reflexive")
         self.on_session = on_session
         self.on_failure = on_failure
         self.config = config
@@ -278,6 +302,7 @@ class UdpHolePuncher:
 
     def start(self) -> None:
         """Begin probing all candidate endpoints (§3.2 step 3)."""
+        self.span.event("probing-started", candidates=len(self.candidates))
         self._deadline_timer = self.client.scheduler.call_later(
             self.config.timeout, self._on_deadline
         )
@@ -296,6 +321,7 @@ class UdpHolePuncher:
                 ),
                 candidate,
             )
+        self._probe_counter.inc(len(self.candidates))
         self._probe_timer = self.client.scheduler.call_later(
             self.config.probe_interval, self._probe_round
         )
@@ -327,12 +353,27 @@ class UdpHolePuncher:
                 # "peer-reflexive candidates".
                 self.candidates.append(src)
                 self.peer_reflexive_candidates += 1
+                self._reflexive_counter.inc()
+                self.span.event("peer-reflexive-candidate", endpoint=str(src))
         elif isinstance(message, PunchAck):
             self.acks_received += 1
+            self._ack_counter.inc()
             self._lock_in(src)
         elif isinstance(message, (SessionData, SessionKeepalive)):
             # The peer already locked in and moved on: so can we.
             self._lock_in(src, replay=message)
+
+    def endpoint_kind(self, endpoint: Endpoint) -> str:
+        """Classify a candidate by provenance: ``public``/``private`` from
+        S's exchange, ``predicted`` from §5.1 port prediction, or
+        ``peer-reflexive`` (learned from an unexpected probe source)."""
+        if endpoint == self._public_candidate:
+            return "public"
+        if endpoint == self._private_candidate:
+            return "private"
+        if endpoint in self._predicted:
+            return "predicted"
+        return "peer-reflexive"
 
     def _lock_in(self, endpoint: Endpoint, replay=None) -> None:
         """§3.2 step 3: first endpoint that elicited a valid response wins."""
@@ -342,6 +383,14 @@ class UdpHolePuncher:
         self.locked_endpoint = endpoint
         self.elapsed = self.client.scheduler.now - self.started_at
         self._cancel_timers()
+        metrics = self.client.metrics
+        kind = self.endpoint_kind(endpoint)
+        metrics.counter("punch.udp.succeeded").inc()
+        metrics.counter("punch.udp.endpoint", kind=kind).inc()
+        metrics.histogram("punch.udp.lock_in_seconds").observe(self.elapsed)
+        self.span.finish(OUTCOME_LOCKED, endpoint=str(endpoint), endpoint_kind=kind)
+        if self._parent_span is not None:
+            self._parent_span.finish(OUTCOME_LOCKED)
         session = UdpSession(
             self.client, self.peer_id, self.nonce, endpoint, self.config
         )
@@ -355,6 +404,10 @@ class UdpHolePuncher:
             return
         self.finished = True
         self._cancel_timers()
+        self.client.metrics.counter("punch.udp.failed").inc()
+        self.span.finish(OUTCOME_TIMEOUT)
+        if self._parent_span is not None:
+            self._parent_span.finish(OUTCOME_TIMEOUT)
         self.client._puncher_failed(self)
         if self.on_failure is not None:
             self.on_failure(

@@ -66,6 +66,13 @@ class NatDevice(Router):
         self.hairpin_forwarded = 0
         self.hairpin_refused = 0
         self.payloads_mangled = 0
+        #: Why packets died here (reason -> count); feeds the ``nat.drops``
+        #: metric.  Reasons: no-mapping, filtered, icmp-unmatched, no-route,
+        #: ttl-expired, hairpin-refused.
+        self.drops_by_reason: dict = {}
+
+    def _count_drop(self, reason: str) -> None:
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
 
     # -- wiring -----------------------------------------------------------------
 
@@ -139,6 +146,7 @@ class NatDevice(Router):
         route = self.routing.try_lookup(packet.dst.ip)
         if route is None:
             self.packets_dropped += 1
+            self._count_drop("no-route")
             return
         if route.interface != self._wan_name:
             # LAN-to-LAN transit: plain forwarding, no translation.
@@ -174,6 +182,7 @@ class NatDevice(Router):
             return
         if packet.ttl <= 1:
             self.packets_dropped += 1
+            self._count_drop("ttl-expired")
             return
         mapping = self._obtain_mapping(packet.proto, packet.src, packet.dst)
         mapping.note_outbound(packet.dst, self.scheduler.now)
@@ -214,10 +223,12 @@ class NatDevice(Router):
         mapping = self.table.lookup_inbound(packet.proto, packet.dst.port)
         if mapping is None:
             self.inbound_unmatched += 1
+            self._count_drop("no-mapping")
             self._refuse(packet)
             return
         if not self._filter_permits(mapping, packet.src):
             self.inbound_refused += 1
+            self._count_drop("filtered")
             self._refuse(packet)
             return
         self._deliver_inbound(packet, mapping)
@@ -240,6 +251,7 @@ class NatDevice(Router):
     def _deliver_inbound(self, packet: Packet, mapping: NatMapping) -> None:
         if packet.ttl <= 1:
             self.packets_dropped += 1
+            self._count_drop("ttl-expired")
             return
         mapping.note_inbound(
             self.scheduler.now, self.behavior.refresh_on_inbound, remote=packet.src
@@ -261,6 +273,7 @@ class NatDevice(Router):
         mapping = self.table.lookup_inbound(error.original_proto, error.original_src.port)
         if mapping is None or error.original_src != mapping.public:
             self.inbound_unmatched += 1
+            self._count_drop("icmp-unmatched")
             return
         translated = packet.copy()
         translated.ttl = packet.ttl - 1
@@ -298,11 +311,13 @@ class NatDevice(Router):
             return
         if not self.behavior.hairpin_for(packet.proto):
             self.hairpin_refused += 1
+            self._count_drop("hairpin-refused")
             self._refuse(packet)
             return
         dst_mapping = self.table.lookup_inbound(packet.proto, packet.dst.port)
         if dst_mapping is None:
             self.hairpin_refused += 1
+            self._count_drop("hairpin-refused")
             self._refuse(packet)
             return
         # Source-translate the sender exactly as if the packet left the WAN.
@@ -314,10 +329,12 @@ class NatDevice(Router):
             # §6.3: simplistic NATs treat traffic at public ports as untrusted
             # regardless of origin.
             self.hairpin_refused += 1
+            self._count_drop("hairpin-refused")
             self._refuse(packet)
             return
         if packet.ttl <= 1:
             self.packets_dropped += 1
+            self._count_drop("ttl-expired")
             return
         dst_mapping.note_inbound(self.scheduler.now, self.behavior.refresh_on_inbound)
         translated = packet.copy()

@@ -35,6 +35,10 @@ class NatCheckReport:
     vendor: str = ""
     device: str = ""
     elapsed: float = 0.0
+    # punch-latency observations (virtual seconds); ``None`` when the probe
+    # never completed.  Feed the per-vendor distributions next to Table 1.
+    udp_probe_rtt: Optional[float] = None
+    tcp_connect_rtt: Optional[float] = None
 
     # -- §6.2 classifications ------------------------------------------------
 

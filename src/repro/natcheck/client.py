@@ -84,6 +84,7 @@ class NatCheckClient:
         sock = self._stack.udp.socket(self.config.local_port)
         self._udp_primary = sock
         token1, token2 = self._next_token(), self._next_token()
+        sent_at = self.scheduler.now
 
         def on_datagram(data: bytes, src: Endpoint) -> None:
             message = m.try_unpack(data)
@@ -91,6 +92,8 @@ class NatCheckClient:
                 return
             if isinstance(message, m.Echo) and message.msg_type == m.UDP_ECHO:
                 if message.token == token1:
+                    if self.report.udp_probe_rtt is None:
+                        self.report.udp_probe_rtt = self.scheduler.now - sent_at
                     self.report.udp_ep1 = message.observed
                 elif message.token == token2:
                     self.report.udp_ep2 = message.observed
@@ -130,8 +133,11 @@ class NatCheckClient:
             self.config.local_port, on_accept=self._on_accept, reuse=True
         )
         token1 = self._next_token()
+        tcp_started = self.scheduler.now
 
         def s1_connected(conn) -> None:
+            if self.report.tcp_connect_rtt is None:
+                self.report.tcp_connect_rtt = self.scheduler.now - tcp_started
             buffer = m.TcpMessageBuffer()
 
             def on_data(data: bytes) -> None:

@@ -192,6 +192,13 @@ class FleetResult:
     def all_reports(self) -> List[NatCheckReport]:
         return [r for reports in self.reports.values() for r in reports]
 
+    def latency_by_vendor(self):
+        """Per-vendor punch-latency distributions (see
+        :func:`repro.natcheck.table.latency_histograms`)."""
+        from repro.natcheck.table import latency_histograms
+
+        return latency_histograms(self.reports)
+
 
 def run_fleet(
     specs: Tuple[VendorSpec, ...] = VENDOR_SPECS,

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.natcheck.classify import NatCheckReport
+from repro.obs.metrics import Histogram
 
 #: The paper's published Table 1, for paper-vs-measured comparison:
 #: vendor -> (udp, udp_hairpin, tcp, tcp_hairpin) as (n, d) pairs.
@@ -139,4 +140,67 @@ def render_table1(
                 *(Table1Row._fmt(c) for c in paper)
             )
         )
+    return "\n".join(lines)
+
+
+#: The latency columns of the appendix: report field -> column header.
+_LATENCY_FIELDS = (("udp_probe_rtt", "UDP probe RTT"), ("tcp_connect_rtt", "TCP connect RTT"))
+
+
+def latency_histograms(
+    reports_by_vendor: Dict[str, List[NatCheckReport]],
+) -> Dict[str, Dict[str, Histogram]]:
+    """Punch-latency distributions per vendor (virtual seconds).
+
+    Pools each report's ``udp_probe_rtt`` / ``tcp_connect_rtt`` observations
+    into :class:`~repro.obs.metrics.Histogram` objects, keyed by field name,
+    plus an ``"All Vendors"`` entry aggregating the whole fleet.  Reports
+    whose probe never completed (``None``) are excluded — their absence is
+    already visible in the Table 1 numerators.
+    """
+    out: Dict[str, Dict[str, Histogram]] = {}
+    pooled = {f: Histogram(f) for f, _ in _LATENCY_FIELDS}
+    for vendor, reports in reports_by_vendor.items():
+        hists = {f: Histogram(f) for f, _ in _LATENCY_FIELDS}
+        for report in reports:
+            for f, _ in _LATENCY_FIELDS:
+                value = getattr(report, f)
+                if value is not None:
+                    hists[f].observe(value)
+                    pooled[f].observe(value)
+        out[vendor] = hists
+    out["All Vendors"] = pooled
+    return out
+
+
+def render_latency_appendix(
+    reports_by_vendor: Dict[str, List[NatCheckReport]],
+) -> str:
+    """The punch-latency appendix printed beneath Table 1.
+
+    One row per vendor (same hardware/OS ordering as the table) showing
+    p50/p95 virtual-time latency of the first UDP probe echo and the first
+    TCP connect, with sample counts.
+    """
+    hists = latency_histograms(reports_by_vendor)
+
+    def _fmt(hist: Histogram) -> str:
+        if not hist.count:
+            return "-"
+        return f"{hist.p50:.3f}/{hist.p95:.3f}s (n={hist.count})"
+
+    header = ["NAT"] + [label + " p50/p95" for _, label in _LATENCY_FIELDS]
+    widths = [14, 24, 24]
+    lines = ["Punch latency (virtual seconds)"]
+
+    def emit(cells: List[str]) -> None:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip())
+
+    emit(header)
+    emit(["-" * w for w in widths])
+    ordered = [v for v in HARDWARE_VENDORS + OS_VENDORS if v in hists]
+    ordered += [v for v in hists if v not in ordered and v != "All Vendors"]
+    ordered.append("All Vendors")
+    for vendor in ordered:
+        emit([vendor] + [_fmt(hists[vendor][f]) for f, _ in _LATENCY_FIELDS])
     return "\n".join(lines)

@@ -21,17 +21,28 @@ class Timer:
     :meth:`Scheduler.call_later`; user code should never construct one.
     """
 
-    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired")
+    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired", "_scheduler")
 
-    def __init__(self, when: float, callback: Callable[..., Any], args: Tuple):
+    def __init__(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        args: Tuple,
+        scheduler: "Scheduler" = None,
+    ):
         self.when = when
         self._callback = callback
         self._args = args
         self._cancelled = False
         self._fired = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the callback from running; idempotent."""
+        if not self._cancelled and not self._fired:
+            self._cancelled = True
+            if self._scheduler is not None:
+                self._scheduler.events_cancelled += 1
         self._cancelled = True
 
     @property
@@ -65,6 +76,15 @@ class Scheduler:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
+        #: Events whose callbacks actually ran (cancelled timers excluded).
+        self.events_fired = 0
+        #: Timers cancelled while still pending.
+        self.events_cancelled = 0
+        #: High-water mark of the timer heap (includes cancelled entries).
+        self.max_queue_depth = 0
+        #: After :meth:`run`: True if it stopped because *max_events* was
+        #: exhausted with work still pending, False if the queue drained.
+        self.last_run_exhausted = False
 
     @property
     def now(self) -> float:
@@ -76,6 +96,11 @@ class Scheduler:
         """Number of timers still in the heap (including cancelled ones)."""
         return sum(1 for _, _, t in self._heap if t.active)
 
+    @property
+    def queue_depth(self) -> int:
+        """Raw heap length — the O(1) figure the metrics gauge samples."""
+        return len(self._heap)
+
     def call_at(self, when: float, callback: Callable[..., Any], *args: Any) -> Timer:
         """Schedule *callback(*args)* at absolute time *when*.
 
@@ -86,8 +111,10 @@ class Scheduler:
             raise ValueError(
                 f"cannot schedule at t={when:.6f} before now={self._now:.6f}"
             )
-        timer = Timer(when, callback, args)
+        timer = Timer(when, callback, args, self)
         heapq.heappush(self._heap, (when, next(self._sequence), timer))
+        if len(self._heap) > self.max_queue_depth:
+            self.max_queue_depth = len(self._heap)
         return timer
 
     def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
@@ -103,6 +130,7 @@ class Scheduler:
             if timer.cancelled:
                 continue
             self._now = when
+            self.events_fired += 1
             timer._fire()
             return True
         return False
@@ -125,20 +153,27 @@ class Scheduler:
             if timer.cancelled:
                 continue
             self._now = when
+            self.events_fired += 1
             timer._fire()
         self._now = deadline
 
-    def run(self, max_events: int = 1_000_000) -> int:
+    def run(self, max_events: int = 1_000_000, strict: bool = True) -> int:
         """Run until the event heap drains.  Returns events fired.
 
         *max_events* guards against livelock (e.g. two hosts ping-ponging
-        keep-alives forever); exceeding it raises ``RuntimeError``.
+        keep-alives forever).  Whether the run drained the queue or
+        exhausted its budget is reported via :attr:`last_run_exhausted`;
+        with ``strict`` (the default) budget exhaustion also raises
+        ``RuntimeError``, so livelocks cannot pass silently.
         """
         fired = 0
-        while self.step():
+        while fired < max_events and self.step():
             fired += 1
-            if fired > max_events:
-                raise RuntimeError(f"scheduler exceeded {max_events} events")
+        self.last_run_exhausted = fired >= max_events and any(
+            timer.active for _, _, timer in self._heap
+        )
+        if self.last_run_exhausted and strict:
+            raise RuntimeError(f"scheduler exceeded {max_events} events")
         return fired
 
     def run_while(self, predicate: Callable[[], bool], deadline: float) -> bool:

@@ -93,6 +93,10 @@ class Link:
         self.packets_dropped = 0
         self.queue_drops = 0
         self.bytes_sent = 0
+        #: Per-protocol breakdowns (IpProtocol -> count), fed to the metrics
+        #: registry by the owning network's collector.
+        self.sent_by_proto: Dict[object, int] = {}
+        self.lost_by_proto: Dict[object, int] = {}
 
     def attach(self, node: "Node", ip) -> None:
         """Attach *node*'s interface at *ip* to this segment."""
@@ -130,6 +134,7 @@ class Link:
             return False
         if self.profile.loss and self._rng.chance(self.profile.loss):
             self.packets_dropped += 1
+            self.lost_by_proto[packet.proto] = self.lost_by_proto.get(packet.proto, 0) + 1
             self._record(packet, sender, receiver, "lost")
             return False
         delay = self.profile.latency
@@ -151,6 +156,7 @@ class Link:
             delay += queue_wait + serialization
         self.packets_sent += 1
         self.bytes_sent += packet.size
+        self.sent_by_proto[packet.proto] = self.sent_by_proto.get(packet.proto, 0) + 1
         self._record(packet, sender, receiver, "sent")
         self.scheduler.call_later(delay, receiver.receive, packet, self)
         return True

@@ -1,4 +1,4 @@
-"""Topology container: owns the scheduler, RNG, trace, nodes, and links."""
+"""Topology container: owns the scheduler, RNG, trace, metrics, nodes, links."""
 
 from __future__ import annotations
 
@@ -9,6 +9,7 @@ from repro.netsim.clock import Scheduler
 from repro.netsim.link import Link, LinkProfile
 from repro.netsim.node import Host, Node, Router
 from repro.netsim.trace import PacketTrace
+from repro.obs.metrics import MetricsRegistry
 from repro.util.rng import SeededRng
 
 
@@ -23,12 +24,22 @@ class Network:
                               network="18.181.0.0/16", link=backbone)
         ... attach NAT devices and private hosts ...
         net.run_until(5.0)
+
+    The network owns the run's :class:`MetricsRegistry`: every node added to
+    it gets a ``.metrics`` reference, and the built-in collector pulls the
+    substrate's plain counters (scheduler, links, NAT tables, host stacks)
+    into the registry at snapshot time.  ``metrics_enabled=False`` turns the
+    whole layer into no-ops for overhead comparisons.
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, metrics_enabled: bool = True) -> None:
         self.scheduler = Scheduler()
         self.rng = SeededRng(seed, "network")
         self.trace = PacketTrace(enabled=False)
+        self.metrics = MetricsRegistry(
+            now_fn=lambda: self.scheduler.now, enabled=metrics_enabled
+        )
+        self.metrics.add_collector(self._collect_builtin)
         self.nodes: Dict[str, Node] = {}
         self.links: Dict[str, Link] = {}
         self._link_counter = 0
@@ -57,6 +68,7 @@ class Network:
         if node.name in self.nodes:
             raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
+        node.metrics = self.metrics  # reachable from every layer above
         return node
 
     def add_host(
@@ -112,6 +124,91 @@ class Network:
 
     def total_bytes_sent(self) -> int:
         return sum(link.bytes_sent for link in self.links.values())
+
+    # -- observability ----------------------------------------------------------
+
+    def _collect_builtin(self, registry) -> None:
+        """Snapshot-time collector: copy the substrate's plain counters into
+        the registry.  Hot paths pay nothing; duck-typing keeps netsim from
+        importing the nat/transport layers it is collecting from."""
+        scheduler = self.scheduler
+        registry.counter("scheduler.events_fired").value = scheduler.events_fired
+        registry.counter("scheduler.events_cancelled").value = scheduler.events_cancelled
+        registry.gauge("scheduler.queue_depth").set(scheduler.queue_depth)
+        registry.gauge("scheduler.max_queue_depth").set(scheduler.max_queue_depth)
+        sent_by_proto: Dict[object, int] = {}
+        lost_by_proto: Dict[object, int] = {}
+        packets = drops = queue_drops = total_bytes = 0
+        for link in self.links.values():
+            packets += link.packets_sent
+            drops += link.packets_dropped
+            queue_drops += link.queue_drops
+            total_bytes += link.bytes_sent
+            for proto, count in link.sent_by_proto.items():
+                sent_by_proto[proto] = sent_by_proto.get(proto, 0) + count
+            for proto, count in link.lost_by_proto.items():
+                lost_by_proto[proto] = lost_by_proto.get(proto, 0) + count
+        registry.counter("link.packets_sent").value = packets
+        registry.counter("link.packets_dropped").value = drops
+        registry.counter("link.queue_drops").value = queue_drops
+        registry.counter("link.bytes_sent").value = total_bytes
+        for proto, count in sent_by_proto.items():
+            registry.counter("link.packets_sent", proto=proto.name.lower()).value = count
+        for proto, count in lost_by_proto.items():
+            registry.counter("link.packets_lost", proto=proto.name.lower()).value = count
+        tcp_totals: Dict[str, int] = {}
+        syn_outcomes: Dict[str, int] = {}
+        udp_totals: Dict[str, int] = {}
+        for node in self.nodes.values():
+            table = getattr(node, "table", None)
+            if table is not None and hasattr(table, "mappings_created"):
+                name = node.name
+                registry.gauge("nat.mapping_table_size", node=name).set(len(table))
+                registry.counter("nat.mappings_created", node=name).value = table.mappings_created
+                registry.counter("nat.mappings_expired", node=name).value = table.mappings_expired
+                registry.counter("nat.translations_out", node=name).value = node.translations_out
+                registry.counter("nat.translations_in", node=name).value = node.translations_in
+                registry.counter("nat.hairpin_forwarded", node=name).value = node.hairpin_forwarded
+                for reason, count in getattr(node, "drops_by_reason", {}).items():
+                    registry.counter("nat.drops", node=name, reason=reason).value = count
+            stack = getattr(node, "stack", None)
+            if stack is None:
+                continue
+            tcp = getattr(stack, "tcp", None)
+            if tcp is not None:
+                for field in ("retransmits", "rto_fires", "rsts_sent", "segments_dropped"):
+                    tcp_totals[field] = tcp_totals.get(field, 0) + getattr(tcp, field, 0)
+                for outcome, count in getattr(tcp, "syn_outcomes", {}).items():
+                    syn_outcomes[outcome] = syn_outcomes.get(outcome, 0) + count
+            udp = getattr(stack, "udp", None)
+            if udp is not None:
+                udp_totals["datagrams_sent"] = udp_totals.get("datagrams_sent", 0) + getattr(
+                    udp, "datagrams_sent", 0
+                )
+                udp_totals["datagrams_received"] = udp_totals.get(
+                    "datagrams_received", 0
+                ) + getattr(udp, "datagrams_received", 0)
+                udp_totals["unmatched_drops"] = udp_totals.get(
+                    "unmatched_drops", 0
+                ) + getattr(udp, "packets_dropped", 0)
+        for field, value in tcp_totals.items():
+            registry.counter(f"tcp.{field}").value = value
+        for outcome, count in syn_outcomes.items():
+            registry.counter("tcp.syn_outcomes", outcome=outcome).value = count
+        for field, value in udp_totals.items():
+            registry.counter(f"udp.{field}").value = value
+
+    def metrics_summary(self) -> str:
+        """Full text dump of the run's metrics (collectors included)."""
+        from repro.obs.export import render_text
+
+        return render_text(self.metrics)
+
+    def metrics_json(self, indent: Optional[int] = None) -> str:
+        """Round-trippable JSON dump of the run's metrics."""
+        from repro.obs.export import to_json
+
+        return to_json(self.metrics, indent=indent)
 
     def __repr__(self) -> str:
         return f"Network(nodes={len(self.nodes)}, links={len(self.links)}, t={self.now:.3f})"

@@ -35,6 +35,9 @@ class Node:
     """Base class: interfaces + routing table + send/receive machinery."""
 
     forwards_packets = False
+    #: The owning network's MetricsRegistry, set by ``Network.add_node`` so
+    #: protocol layers above can reach it; None for standalone nodes.
+    metrics = None
 
     def __init__(self, name: str, scheduler: Scheduler) -> None:
         self.name = name

@@ -1,0 +1,62 @@
+"""repro.obs — run instrumentation for the simulator and punching stack.
+
+The observability layer the evaluation (Table 1, §6) is reported through:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges, and
+  virtual-time histograms, owned by :class:`~repro.netsim.network.Network`
+  and reachable from every layer via ``node.metrics``;
+* :class:`~repro.obs.spans.Span` — connection-attempt lifecycles (rendezvous
+  lookup → punch probes → lock-in or fallback-to-relay) with tagged
+  outcomes;
+* :mod:`~repro.obs.export` — text summaries and round-trippable JSON dumps;
+* :class:`~repro.obs.profile.RunProfiler` — the wall-clock events/sec and
+  packets/sec hook the perf benches assert against.
+
+See ``docs/observability.md`` for the metric and span catalog.
+"""
+
+from repro.obs.export import (
+    from_json,
+    render_text,
+    summarize_for_report,
+    summarize_values,
+    to_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric_name,
+)
+from repro.obs.profile import RunProfiler
+from repro.obs.spans import (
+    NULL_SPAN,
+    OUTCOME_ERROR,
+    OUTCOME_FALLBACK,
+    OUTCOME_LOCKED,
+    OUTCOME_OK,
+    OUTCOME_TIMEOUT,
+    Span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunProfiler",
+    "Span",
+    "NULL_SPAN",
+    "OUTCOME_ERROR",
+    "OUTCOME_FALLBACK",
+    "OUTCOME_LOCKED",
+    "OUTCOME_OK",
+    "OUTCOME_TIMEOUT",
+    "format_metric_name",
+    "from_json",
+    "render_text",
+    "summarize_for_report",
+    "summarize_values",
+    "to_json",
+]

@@ -1,0 +1,340 @@
+"""Metric instruments and the registry that owns them.
+
+Everything here measures **virtual time and simulated traffic** — the
+quantities the paper's evaluation is made of (probe counts, lock-in
+latencies, drop reasons) — not host wall-clock.  Wall-clock profiling lives
+in :mod:`repro.obs.profile`.
+
+Design notes:
+
+* Instruments are plain objects with ``__slots__`` and integer/float fields;
+  incrementing a counter is one attribute add, cheap enough for the
+  simulator's hot paths (the perf bench asserts the overhead budget).
+* The registry supports **collectors**: callbacks that run at snapshot time
+  and copy counters the lower layers already keep as plain attributes
+  (``Link.packets_sent``, ``NatTable.mappings_created``, ...) into the
+  registry.  The hot paths therefore pay nothing for those metrics.
+* Histograms record observations in virtual seconds (or whatever unit the
+  creator declares) and answer percentile queries with the nearest-rank
+  method, which is deterministic and exact for the sample sizes we keep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Raw observations kept per histogram; beyond this the histogram keeps
+#: exact count/sum/min/max but stops storing samples (percentiles are then
+#: computed over the retained prefix).
+HISTOGRAM_SAMPLE_CAP = 8192
+
+
+def _label_key(labels: Dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_metric_name(name: str, labels: LabelKey) -> str:
+    """Render ``name{k=v,...}`` — the stable key used by the exporters."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({format_metric_name(self.name, self.labels)}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (table sizes, queue depths)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({format_metric_name(self.name, self.labels)}={self.value})"
+
+
+class Histogram:
+    """A distribution of observations (virtual-time latencies, sizes).
+
+    Keeps exact ``count``/``sum``/``min``/``max`` for every observation and
+    the raw values up to :data:`HISTOGRAM_SAMPLE_CAP` for percentile queries.
+    """
+
+    __slots__ = ("name", "labels", "unit", "count", "total", "min", "max", "_values")
+
+    def __init__(self, name: str, labels: LabelKey = (), unit: str = "s") -> None:
+        self.name = name
+        self.labels = labels
+        self.unit = unit
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._values) < HISTOGRAM_SAMPLE_CAP:
+            self._values.append(value)
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile over the retained sample; p in [0, 100]."""
+        if not self._values:
+            return None
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        ordered = sorted(self._values)
+        rank = max(1, -(-int(p * len(ordered)) // 100))  # ceil(p/100 * n), >= 1
+        if p == 0:
+            return ordered[0]
+        rank = min(rank, len(ordered))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.percentile(99)
+
+    def values(self) -> List[float]:
+        """The retained raw observations (oldest first)."""
+        return list(self._values)
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly digest used by the exporters."""
+        digest: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.total,
+            "unit": self.unit,
+        }
+        if self.count:
+            digest.update(
+                min=self.min,
+                max=self.max,
+                mean=self.mean,
+                p50=self.p50,
+                p95=self.p95,
+                p99=self.p99,
+            )
+        return digest
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({format_metric_name(self.name, self.labels)}, "
+            f"count={self.count})"
+        )
+
+
+class _NullCounter(Counter):
+    """Shared sink handed out by a disabled registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: D102 - intentionally inert
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter("disabled")
+_NULL_GAUGE = _NullGauge("disabled")
+_NULL_HISTOGRAM = _NullHistogram("disabled")
+
+Collector = Callable[["MetricsRegistry"], None]
+
+
+class MetricsRegistry:
+    """Owns every instrument and span of one simulation run.
+
+    Typically constructed by :class:`~repro.netsim.network.Network` (which
+    points ``now_fn`` at the virtual clock and registers its built-in
+    collector); any layer holding a node can reach it via ``node.metrics``.
+
+    Args:
+        now_fn: source of virtual time for spans; defaults to a frozen zero
+            clock so a registry is usable standalone in tests.
+        enabled: when False every instrument handed out is an inert shared
+            sink and spans are not recorded — the configuration the overhead
+            bench compares against.
+    """
+
+    def __init__(self, now_fn: Optional[Callable[[], float]] = None, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.now_fn = now_fn or (lambda: 0.0)
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self._collectors: List[Collector] = []
+        self.spans: List["Span"] = []  # root spans, in start order
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        if not self.enabled:
+            return _NULL_COUNTER
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        if not self.enabled:
+            return _NULL_GAUGE
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(self, name: str, unit: str = "s", **labels: object) -> Histogram:
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1], unit=unit)
+        return instrument
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, **tags: object) -> "Span":
+        """Start a root span at the current virtual time."""
+        from repro.obs.spans import Span, NULL_SPAN
+
+        if not self.enabled:
+            return NULL_SPAN
+        span = Span(name, registry=self, start=self.now_fn(), tags=dict(tags))
+        self.spans.append(span)
+        return span
+
+    def find_spans(self, name: Optional[str] = None, recursive: bool = True) -> List["Span"]:
+        """Spans by name, walking children when *recursive* (default)."""
+        found: List["Span"] = []
+
+        def visit(span: "Span") -> None:
+            if name is None or span.name == name:
+                found.append(span)
+            if recursive:
+                for child in span.children:
+                    visit(child)
+
+        for root in self.spans:
+            visit(root)
+        return found
+
+    # -- collectors & snapshots ----------------------------------------------
+
+    def add_collector(self, collector: Collector) -> None:
+        """Register a snapshot-time callback that pulls counters from the
+        plain attributes lower layers maintain (zero hot-path cost)."""
+        self._collectors.append(collector)
+
+    def collect(self) -> None:
+        for collector in self._collectors:
+            collector(self)
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            format_metric_name(c.name, c.labels): c.value
+            for c in self._counters.values()
+        }
+
+    def gauges(self) -> Dict[str, float]:
+        return {
+            format_metric_name(g.name, g.labels): g.value
+            for g in self._gauges.values()
+        }
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return {
+            format_metric_name(h.name, h.labels): h
+            for h in self._histograms.values()
+        }
+
+    def counter_value(self, name: str, **labels: object) -> int:
+        """Read a counter without creating it (0 when absent)."""
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Run collectors and return a plain-dict view (JSON-serialisable)."""
+        self.collect()
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": {
+                key: hist.summary() for key, hist in self.histograms().items()
+            },
+            "spans": [span.to_dict() for span in self.spans],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)}, "
+            f"spans={len(self.spans)}, enabled={self.enabled})"
+        )

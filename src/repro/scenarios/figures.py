@@ -16,6 +16,7 @@ from repro.nat.behavior import HAIRPIN_CAPABLE, NatBehavior, WELL_BEHAVED
 from repro.natcheck.classify import NatCheckReport
 from repro.natcheck.fleet import check_device
 from repro.netsim.addresses import Endpoint
+from repro.obs.export import summarize_for_report
 from repro.scenarios.topologies import (
     Scenario,
     build_common_nat,
@@ -34,13 +35,21 @@ class FigureResult:
     success: bool
     metrics: Dict[str, object] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    obs: List[str] = field(default_factory=list)
 
     def describe(self) -> str:
         lines = [f"[{self.figure}] {'SUCCESS' if self.success else 'FAILURE'}"]
         for key, value in self.metrics.items():
             lines.append(f"  {key}: {value}")
         lines.extend(f"  - {note}" for note in self.notes)
+        lines.extend(f"  {line}" for line in self.obs)
         return "\n".join(lines)
+
+
+def _scenario_obs(scenario: Scenario) -> List[str]:
+    """The run's metrics summary (punch counters, latency percentiles, drop
+    reasons) — attached to the figure's report section."""
+    return summarize_for_report(scenario.net.metrics)
 
 
 # ---------------------------------------------------------------------------
@@ -86,6 +95,7 @@ def run_figure1(seed: int = 0) -> FigureResult:
         notes=[
             "outbound sessions traverse NATs; private realms are mutually unreachable",
         ],
+        obs=_scenario_obs(scenario),
     )
 
 
@@ -151,6 +161,7 @@ def run_figure2(seed: int = 0, messages: int = 20, payload_size: int = 200) -> F
             "server_relayed_bytes": scenario.server.relayed_bytes,
         },
         notes=["relaying works but consumes S's bandwidth and adds latency (§2.2)"],
+        obs=_scenario_obs(scenario),
     )
 
 
@@ -190,6 +201,7 @@ def run_figure3(seed: int = 0) -> FigureResult:
             "reversal_elapsed_s": round(elapsed, 3),
         },
         notes=["the NAT interprets A's reverse connection as an outgoing session (§2.3)"],
+        obs=_scenario_obs(scenario),
     )
 
 
@@ -245,6 +257,7 @@ def run_figure4(seed: int = 0, behavior: NatBehavior = WELL_BEHAVED) -> FigureRe
             "hairpin_supported": behavior.hairpin,
         },
         notes=["the direct private route wins the race against the hairpin route (§3.3)"],
+        obs=_scenario_obs(scenario),
     )
 
 
@@ -273,6 +286,7 @@ def run_figure5(
             "b_public": str(scenario.clients["B"].udp_public),
         },
         notes=["both NATs open holes; the public endpoints carry the session (§3.4)"],
+        obs=_scenario_obs(scenario),
     )
 
 
@@ -300,6 +314,7 @@ def run_figure6(seed: int = 0, hairpin: bool = True) -> FigureResult:
             if hairpin
             else "without hairpin support at NAT C the punch cannot complete (§3.5)"
         ],
+        obs=_scenario_obs(scenario),
     )
 
 
@@ -360,6 +375,7 @@ def run_figure7(
             "one local port carries the S connection, a listen socket, and "
             "outgoing connects simultaneously via SO_REUSEADDR (§4.1)"
         ],
+        obs=_scenario_obs(scenario),
     )
 
 

@@ -246,6 +246,8 @@ class TcpConnection:
 
     def _send_queued(self, entry: _QueuedSegment) -> None:
         entry.tries += 1
+        if entry.tries > 1:
+            self.stack.retransmits += 1
         ack_flag, _ = self._ack_args()
         if entry.kind is _SegmentKind.SYN:
             flags = TcpFlags.SYN | ack_flag
@@ -291,6 +293,7 @@ class TcpConnection:
         self._rtx_timer = None
         if not self._queue or self.state is TcpState.CLOSED:
             return
+        self.stack.rto_fires += 1
         entry = self._queue[0]
         limit = SYN_MAX_TRIES if entry.kind is _SegmentKind.SYN else DATA_MAX_TRIES
         if entry.tries >= limit:
@@ -302,6 +305,8 @@ class TcpConnection:
     # -- error/teardown --------------------------------------------------------
 
     def _fail(self, error: ConnectionError_) -> None:
+        if self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            self.stack._count_syn_outcome(error.reason)
         self.error = error
         callback = self.on_error
         self._teardown(notify_close=False)
@@ -340,6 +345,7 @@ class TcpConnection:
         self.snd_nxt = seq_add(self.iss, 1)
 
     def _become_established(self) -> None:
+        self.stack._count_syn_outcome("connected")
         self.state = TcpState.ESTABLISHED
         pending, self._pending_send = self._pending_send, []
         for chunk in pending:
@@ -592,6 +598,17 @@ class TcpStack:
         self._next_ephemeral = 49152
         self.segments_dropped = 0
         self.rsts_sent = 0
+        #: Segments re-sent after their first transmission (SYN, data, FIN).
+        self.retransmits = 0
+        #: Retransmission timer expiries that found live work to retry.
+        self.rto_fires = 0
+        #: How connect attempts ended (outcome -> count): "connected",
+        #: "reset", "timeout", "unreachable", "address-in-use".  Feeds the
+        #: ``tcp.syn_outcomes`` metric.
+        self.syn_outcomes: Dict[str, int] = {}
+
+    def _count_syn_outcome(self, outcome: str) -> None:
+        self.syn_outcomes[outcome] = self.syn_outcomes.get(outcome, 0) + 1
 
     @property
     def scheduler(self):
@@ -775,6 +792,7 @@ class TcpStack:
         )
         callback = active.on_error
         active.error = error
+        self._count_syn_outcome(error.reason)
         active._teardown(notify_close=False)
         self._spawn_passive(listener, syn, iss=adopted_iss)
         if callback is not None:

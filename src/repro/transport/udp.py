@@ -56,6 +56,7 @@ class UdpSocket:
         if self.closed:
             raise BindError("sendto on closed UDP socket")
         self.datagrams_sent += 1
+        self._stack.datagrams_sent += 1
         return self._stack.host.send(udp_packet(self.local, dest, payload))
 
     def close(self) -> None:
@@ -67,6 +68,7 @@ class UdpSocket:
 
     def _deliver(self, packet: Packet) -> None:
         self.datagrams_received += 1
+        self._stack.datagrams_received += 1
         if self.on_datagram is not None:
             self.on_datagram(packet.payload, packet.src)
 
@@ -83,6 +85,10 @@ class UdpStack:
         self._bindings: Dict[_BindKey, UdpSocket] = {}
         self._next_ephemeral = EPHEMERAL_BASE
         self.packets_dropped = 0
+        #: Stack-wide totals (per-socket counts live on the sockets, which
+        #: close and disappear); feed the ``udp.*`` metrics.
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
 
     def socket(self, port: int = 0, ip=None) -> UdpSocket:
         """Create and bind a UDP socket.

@@ -1,0 +1,156 @@
+"""Integration tests for the instrumentation points: the punching stack,
+the substrate collectors, the trace ring buffer, and the fleet latency
+wiring all feed the network's metrics registry."""
+
+from __future__ import annotations
+
+from repro.core.connector import P2PConnector, STRATEGY_RELAY
+from repro.nat.behavior import HAIRPIN_CAPABLE, WELL_BEHAVED
+from repro.natcheck.fleet import check_device
+from repro.natcheck.table import latency_histograms, render_latency_appendix
+from repro.netsim.addresses import Endpoint
+from repro.netsim.packet import IpProtocol, Packet
+from repro.netsim.trace import PacketTrace
+from repro.obs.spans import OUTCOME_FALLBACK, OUTCOME_LOCKED, OUTCOME_TIMEOUT
+from repro.scenarios.topologies import build_multilevel, build_two_nats
+
+
+def _punch(scenario, timeout=20.0):
+    scenario.register_all_udp()
+    a = scenario.clients["A"]
+    result = {}
+    a.connect_udp(
+        2,
+        on_session=lambda s: result.setdefault("session", s),
+        on_failure=lambda e: result.setdefault("failure", e),
+    )
+    scenario.scheduler.run_while(lambda: not result, scenario.scheduler.now + timeout)
+    # Let the responder side finish too (its lock-in / deadline can land a
+    # little after the requester's callback fires).
+    scenario.run_for(15.0)
+    return result
+
+
+def test_udp_punch_populates_metrics_and_spans():
+    scenario = build_two_nats(seed=5)
+    result = _punch(scenario)
+    assert "session" in result
+    reg = scenario.net.metrics
+    assert reg.counter_value("punch.udp.probes_sent") > 0
+    assert reg.counter_value("punch.udp.acks_received") > 0
+    assert reg.counter_value("punch.udp.succeeded") == 2  # both sides lock in
+    assert reg.counter_value("punch.udp.failed") == 0
+    assert reg.counter_value("session.udp.established") == 2
+    assert reg.counter_value("punch.udp.endpoint", kind="public") == 2
+    hist = reg.histogram("punch.udp.lock_in_seconds")
+    assert hist.count == 2 and hist.p50 > 0
+    # Requester side: a "connect" root span with a locked punch child.
+    connects = reg.find_spans("connect")
+    assert connects and connects[0].outcome == OUTCOME_LOCKED
+    children = [c for c in connects[0].children if c.name == "punch.udp"]
+    assert children and children[0].outcome == OUTCOME_LOCKED
+    assert children[0].tags["endpoint_kind"] == "public"
+    # Responder side: a root punch span (no connect parent).
+    punches = reg.find_spans("punch.udp")
+    assert len(punches) == 2
+    assert all(span.finished for span in punches)
+
+
+def test_failed_punch_finishes_spans_with_timeout():
+    # Without hairpin support at NAT C the multilevel punch cannot complete
+    # (the figure 6 "off" configuration).
+    scenario = build_multilevel(seed=5, nat_c_behavior=WELL_BEHAVED)
+    result = _punch(scenario, timeout=30.0)
+    assert "failure" in result
+    reg = scenario.net.metrics
+    assert reg.counter_value("punch.udp.succeeded") == 0
+    assert reg.counter_value("punch.udp.failed") == 2
+    punches = reg.find_spans("punch.udp")
+    assert punches and all(s.outcome == OUTCOME_TIMEOUT for s in punches)
+    # The hairpin refusals show up as NAT drop reasons in the snapshot.
+    snapshot = reg.snapshot()
+    assert snapshot["counters"]["nat.drops{node=NAT-C,reason=hairpin-refused}"] > 0
+
+
+def test_connector_ladder_records_fallback_outcome():
+    scenario = build_multilevel(seed=5, nat_c_behavior=WELL_BEHAVED)
+    scenario.register_all_udp()
+    a = scenario.clients["A"]
+    connector = P2PConnector(a, phase_timeout=5.0)
+    results = []
+    connector.connect(2, results.append)
+    scenario.scheduler.run_while(lambda: not results, scenario.scheduler.now + 30.0)
+    assert results and results[0].strategy == STRATEGY_RELAY
+    ladders = scenario.net.metrics.find_spans("connect.ladder")
+    assert ladders and ladders[0].outcome == OUTCOME_FALLBACK
+    assert ladders[0].tags["strategy"] == STRATEGY_RELAY
+    assert scenario.net.metrics.counter_value("relay.sessions_opened") >= 1
+
+
+def test_hairpin_punch_locks_without_failures():
+    scenario = build_multilevel(seed=5, nat_c_behavior=HAIRPIN_CAPABLE)
+    result = _punch(scenario, timeout=30.0)
+    assert "session" in result
+    reg = scenario.net.metrics
+    assert reg.counter_value("punch.udp.succeeded") == 2
+    assert reg.counter_value("punch.udp.failed") == 0
+
+
+def test_builtin_collector_snapshots_substrate_counters():
+    scenario = build_two_nats(seed=5)
+    _punch(scenario)
+    snapshot = scenario.net.metrics.snapshot()
+    counters = snapshot["counters"]
+    assert counters["scheduler.events_fired"] == scenario.scheduler.events_fired > 0
+    assert counters["link.packets_sent"] > 0
+    assert counters["link.packets_sent{proto=udp}"] > 0
+    assert counters["udp.datagrams_sent"] > 0
+    assert counters["udp.datagrams_received"] > 0
+    assert any(key.startswith("nat.mappings_created") for key in counters)
+    assert snapshot["gauges"]["scheduler.queue_depth"] >= 0
+    # The summary/json exporters run off the same snapshot.
+    assert "scheduler.events_fired" in scenario.net.metrics_summary()
+    assert "counters" in scenario.net.metrics_json()
+
+
+def test_metrics_disabled_network_records_nothing():
+    from repro.netsim.network import Network
+
+    net = Network(seed=5, metrics_enabled=False)
+    assert not net.metrics.enabled
+    snapshot = net.metrics.snapshot()
+    assert snapshot["counters"] == {} and snapshot["spans"] == []
+
+
+def test_trace_ring_buffer_evicts_oldest_and_reports():
+    trace = PacketTrace(enabled=True, capacity=3)
+    packets = [
+        Packet(
+            proto=IpProtocol.UDP,
+            src=Endpoint("10.0.0.1", 1),
+            dst=Endpoint("10.0.0.2", 2),
+            payload=bytes([i]),
+        )
+        for i in range(5)
+    ]
+    for i, packet in enumerate(packets):
+        trace.record(float(i), "wire", "a", "b", "sent", packet)
+    assert len(trace) == 3
+    assert trace.dropped_records == 2
+    assert [r.time for r in trace.records] == [2.0, 3.0, 4.0]  # newest retained
+    dump = trace.dump()
+    assert "2 older records evicted (capacity 3)" in dump
+    trace.clear()
+    assert trace.dropped_records == 0 and len(trace) == 0
+
+
+def test_natcheck_reports_carry_punch_latencies():
+    report = check_device(WELL_BEHAVED, seed=11)
+    assert report.udp_probe_rtt is not None and report.udp_probe_rtt > 0
+    assert report.tcp_connect_rtt is not None and report.tcp_connect_rtt > 0
+    hists = latency_histograms({"TestVendor": [report]})
+    assert hists["TestVendor"]["udp_probe_rtt"].count == 1
+    assert hists["All Vendors"]["tcp_connect_rtt"].count == 1
+    appendix = render_latency_appendix({"TestVendor": [report]})
+    assert "TestVendor" in appendix and "All Vendors" in appendix
+    assert "(n=1)" in appendix
