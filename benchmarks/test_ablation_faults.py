@@ -1,0 +1,114 @@
+"""Ablation A6 (§3.6 + faults): recovery latency under injected faults.
+
+The fault layer (repro.netsim.faults) breaks live punched sessions —
+NAT reboots wipe translation state, server restarts wipe registrations —
+and the robustness ladder (keepalive decay -> auto-re-punch -> fresh
+lock-in) heals them.  These benches measure how long healing takes in
+virtual time, reporting p50/p95 across seeds so the paper's "re-run the
+hole punching procedure on demand" alternative has a quantified cost.
+"""
+
+import statistics
+
+from repro.core.udp_punch import PunchConfig
+from repro.netsim.faults import FAULT_NAT_REBOOT, FAULT_SERVER_RESTART, FaultPlan
+from repro.scenarios import build_two_nats
+
+SEEDS = (101, 102, 103, 104, 105, 106, 107)
+
+RECOVERY_CONFIG = PunchConfig(
+    keepalive_interval=1.0,
+    broken_after_missed=3,
+    repunch_attempts=5,
+    repunch_backoff=0.5,
+    repunch_backoff_cap=4.0,
+)
+
+
+def _establish(seed):
+    """Punched pair with keepalives + auto-re-punch armed; returns
+    (scenario, A's session)."""
+    sc = build_two_nats(seed=seed)
+    for c in sc.clients.values():
+        c.punch_config = RECOVERY_CONFIG
+        c.register_udp()
+    sc.wait_for(lambda: all(c.udp_registered for c in sc.clients.values()), 10.0)
+    for c in sc.clients.values():
+        c.start_server_keepalives(interval=1.0)
+    first = {}
+    sc.clients["A"].connect_udp(2, on_session=lambda s: first.setdefault("a", s),
+                                config=RECOVERY_CONFIG)
+    sc.wait_for(lambda: "a" in first, 20.0)
+    return sc, first["a"]
+
+
+def _recovery_latency(seed, fault):
+    """Virtual seconds from fault injection until A holds a live replacement
+    session (keepalive decay detects the break, auto-re-punch heals it)."""
+    sc, session = _establish(seed)
+    healed = {}
+
+    def on_repunched(replacement):
+        healed["session"] = replacement
+        healed["at"] = sc.scheduler.now
+
+    session.on_repunched = on_repunched
+    fault_at = sc.scheduler.now + 2.0
+    sc.inject_faults(FaultPlan([(fault_at, fault, "A" if fault == FAULT_NAT_REBOOT
+                                 else "S")]))
+    sc.wait_for(lambda: "session" in healed, 120.0)
+    assert healed["session"].alive
+    return healed["at"] - fault_at
+
+
+def _percentiles(latencies):
+    ordered = sorted(latencies)
+    p50 = statistics.median(ordered)
+    p95 = ordered[min(len(ordered) - 1, round(0.95 * (len(ordered) - 1)))]
+    return p50, p95
+
+
+def test_nat_reboot_recovery_latency(benchmark):
+    """NAT reboot wipes A's translation state mid-session; the ladder heals
+    without application involvement.  Recovery = detection (missed
+    keepalives) + backoff + fresh endpoint exchange + lock-in."""
+
+    def sweep():
+        return [_recovery_latency(seed, FAULT_NAT_REBOOT) for seed in SEEDS]
+
+    latencies = benchmark(sweep)
+    p50, p95 = _percentiles(latencies)
+    # Detection alone needs broken_after_missed * keepalive_interval = 3s;
+    # anything past ~60s means the re-punch loop is thrashing, not healing.
+    assert 3.0 <= p50 <= 60.0
+    assert p95 < 120.0
+    benchmark.extra_info["seeds"] = len(SEEDS)
+    benchmark.extra_info["recovery_p50_s"] = round(p50, 2)
+    benchmark.extra_info["recovery_p95_s"] = round(p95, 2)
+
+
+def test_server_restart_reregistration_latency(benchmark):
+    """S restarts and forgets every registration.  The next keepalive draws
+    NOT_REGISTERED, the client silently re-registers, and later rendezvous
+    requests succeed — measure virtual time until both clients are back in
+    S's table."""
+
+    def measure(seed):
+        sc, _session = _establish(seed)
+        restart_at = sc.scheduler.now + 2.0
+        sc.inject_faults(FaultPlan([(restart_at, FAULT_SERVER_RESTART, "S")]))
+        sc.wait_for(lambda: len(sc.server.udp_clients) >= 2, 60.0)
+        return sc.scheduler.now - restart_at
+
+    def sweep():
+        return [measure(seed) for seed in SEEDS]
+
+    latencies = benchmark(sweep)
+    p50, p95 = _percentiles(latencies)
+    # Re-registration rides the 1s server-keepalive cadence, so recovery
+    # lands within a few keepalive intervals.
+    assert p50 <= 10.0
+    assert p95 <= 30.0
+    benchmark.extra_info["seeds"] = len(SEEDS)
+    benchmark.extra_info["reregister_p50_s"] = round(p50, 2)
+    benchmark.extra_info["reregister_p95_s"] = round(p95, 2)

@@ -154,6 +154,57 @@ def test_profiler_wraps_active_run():
     assert prof.time_dilation > 0
 
 
+def test_private_port_conflict_check_scales_flat():
+    """has_conflicting_private_port must be O(1) in table size.
+
+    §6.3's per-port conflict downgrade runs this check on every outbound
+    packet, so an O(n) scan makes busy NATs quadratic.  With the private-port
+    owner index the probe cost must stay flat as the table grows 32x; the
+    generous 6x bound (plus absolute slack) only fails if the check degrades
+    back to a full-table scan (~32x).
+    """
+    from repro.nat.mapping import NatTable
+    from repro.nat.policy import MappingPolicy, PortAllocation
+    from repro.netsim.packet import IpProtocol
+    from repro.util.rng import SeededRng
+
+    def build_table(mappings: int) -> NatTable:
+        table = NatTable(
+            scheduler=Scheduler(),
+            public_ip="155.99.25.11",
+            allocation=PortAllocation.SEQUENTIAL,
+            port_base=2000,
+            rng=SeededRng(1, "bench"),
+        )
+        for i in range(mappings):
+            table.create(
+                MappingPolicy.ENDPOINT_INDEPENDENT,
+                IpProtocol.UDP,
+                Endpoint(f"10.0.{i // 250}.{i % 250 + 1}", 10_000 + i),
+                Endpoint("18.181.0.31", 1234),
+                idle_timeout=3600.0,
+            )
+        return table
+
+    def probe_time(table: NatTable, rounds: int = 2_000) -> float:
+        probe = Endpoint("10.0.99.99", 10_000)  # conflicts with mapping 0
+        assert table.has_conflicting_private_port(probe)
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            for _ in range(rounds):
+                table.has_conflicting_private_port(probe)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    small = probe_time(build_table(200))
+    large = probe_time(build_table(6_400))
+    assert large <= small * 6 + 0.01, (
+        f"conflict check degraded with table size: "
+        f"200 mappings={small:.5f}s 6400 mappings={large:.5f}s"
+    )
+
+
 def test_metrics_overhead_within_bounds():
     """Instrumentation must stay cheap: metrics-on within 25% of metrics-off.
 

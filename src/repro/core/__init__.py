@@ -13,7 +13,7 @@
 """
 
 from repro.core.client import PeerClient
-from repro.core.connector import ConnectOutcome, P2PConnector
+from repro.core.connector import ConnectOutcome, ConnectResult, P2PConnector, RetryPolicy
 from repro.core.rendezvous import RendezvousServer
 from repro.core.relay import RelaySession
 from repro.core.udp_punch import UdpHolePuncher, UdpSession
@@ -22,7 +22,9 @@ from repro.core.tcp_punch import TcpHolePuncher, TcpStream
 __all__ = [
     "PeerClient",
     "ConnectOutcome",
+    "ConnectResult",
     "P2PConnector",
+    "RetryPolicy",
     "RendezvousServer",
     "RelaySession",
     "UdpHolePuncher",

@@ -63,7 +63,7 @@ from repro.obs.spans import OUTCOME_ERROR, Span
 from repro.util.rng import SeededRng
 from repro.netsim.clock import Timer
 from repro.netsim.node import Host
-from repro.util.errors import ProtocolError, ReproError
+from repro.util.errors import ProtocolError, ReproError, TimeoutError_
 
 SessionHandler = Callable[[UdpSession], None]
 StreamHandler = Callable[[TcpStream], None]
@@ -124,6 +124,10 @@ class PeerClient:
         self._pending_udp: Dict[int, tuple] = {}
         self.punchers: Dict[int, UdpHolePuncher] = {}
         self.sessions: Dict[int, UdpSession] = {}
+        self._repunch_timers: Dict[int, Timer] = {}
+        #: Re-register automatically when S answers NOT_REGISTERED (it lost
+        #: our registration, e.g. across a restart).
+        self.auto_reregister = True
         # --- TCP side -------------------------------------------------------
         self.tcp_local_port = local_port
         self.tcp_private = Endpoint(host.primary_ip, local_port)
@@ -252,6 +256,20 @@ class PeerClient:
         # stable pairing nonce across retries.
         budget = (config or self.punch_config).timeout
         self._udp_connect_attempt(peer_id, tries_left=max(1, int(budget)))
+        # If S never answers (down, unreachable, restarting) the request must
+        # still fail in bounded time so recovery loops can back off and retry.
+        self.scheduler.call_later(budget, self._udp_connect_deadline, peer_id)
+
+    def _udp_connect_deadline(self, peer_id: int) -> None:
+        pending = self._pending_udp.pop(peer_id, None)
+        if pending is None:
+            return  # endpoints arrived (or the request already failed)
+        _, on_failure, _cfg = pending
+        span = self._connect_spans.pop((TRANSPORT_UDP, peer_id), None)
+        if span is not None:
+            span.finish(OUTCOME_ERROR, reason="endpoint exchange timed out")
+        if on_failure is not None:
+            on_failure(TimeoutError_(f"endpoint exchange with peer {peer_id} timed out"))
 
     def _udp_connect_attempt(self, peer_id: int, tries_left: int) -> None:
         if peer_id not in self._pending_udp or tries_left <= 0:
@@ -391,6 +409,17 @@ class PeerClient:
         session._handle(message)
 
     def _udp_request_failed(self, error: RendezvousError) -> None:
+        if (
+            error.code == RendezvousError.NOT_REGISTERED
+            and self.auto_reregister
+            and self.udp_registered
+        ):
+            # S lost our registration (restart, state flush) while we thought
+            # we were registered.  Re-register and keep the pending connects:
+            # their retransmit loops will retry once we are back in the table.
+            self.metrics.counter("client.reregistrations").inc()
+            self.register_udp()
+            return
         pending, self._pending_udp = self._pending_udp, {}
         for peer_id, (_, on_failure, _cfg) in pending.items():
             span = self._connect_spans.pop((TRANSPORT_UDP, peer_id), None)
@@ -414,6 +443,53 @@ class PeerClient:
     def _session_closed(self, session: UdpSession) -> None:
         if self.sessions.get(session.peer_id) is session:
             del self.sessions[session.peer_id]
+
+    # -- automatic re-punch (§3.6: "re-run hole punching on demand") ---------------
+
+    def _session_broken(self, session: UdpSession) -> None:
+        """Keepalives went unanswered.  With ``repunch_attempts > 0`` the
+        client re-runs hole punching itself, with exponential backoff,
+        instead of leaving recovery to the application's ``on_broken``."""
+        if session.config.repunch_attempts <= 0:
+            return
+        self._repunch(session, attempt=0)
+
+    def _repunch(self, session: UdpSession, attempt: int) -> None:
+        config = session.config
+        if attempt >= config.repunch_attempts:
+            self.metrics.counter("session.udp.repunch_exhausted").inc()
+            return
+        delay = min(config.repunch_backoff * (2 ** attempt), config.repunch_backoff_cap)
+        self._repunch_timers[session.peer_id] = self.scheduler.call_later(
+            delay, self._repunch_attempt, session, attempt
+        )
+
+    def _repunch_attempt(self, session: UdpSession, attempt: int) -> None:
+        self._repunch_timers.pop(session.peer_id, None)
+        current = self.sessions.get(session.peer_id)
+        if current is not None and current.alive:
+            return  # the peer re-punched first; ride that session
+        if not self.udp_registered:
+            # Registration is itself healing (e.g. server restart): back off
+            # and retry — connect_udp would raise right now.
+            self._repunch(session, attempt + 1)
+            return
+        self.metrics.counter("session.udp.repunch_attempts").inc()
+        self.connect_udp(
+            session.peer_id,
+            on_session=lambda new: self._repunched(session, new),
+            on_failure=lambda _err: self._repunch(session, attempt + 1),
+            config=session.config,
+        )
+
+    def _repunched(self, old: UdpSession, new: UdpSession) -> None:
+        if new is old:
+            return
+        self.metrics.counter("session.udp.repunched").inc()
+        if old.on_repunched is not None:
+            old.on_repunched(new)
+        elif self.on_peer_session is not None:
+            self.on_peer_session(new)
 
     def _deliver_incoming_session(self, session: UdpSession) -> None:
         if self.on_peer_session is not None:

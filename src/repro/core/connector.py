@@ -36,6 +36,26 @@ STRATEGY_TURN = "turn-relay"
 STRATEGY_RELAY = "relay"
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the connector reacts when an established channel later breaks.
+
+    NAT holes are leases, not contracts (§3.6): a NAT reboot or idle timeout
+    can kill a punched session mid-conversation.  With a policy attached the
+    connector re-runs the whole ladder — the network may have changed, so the
+    winning strategy may differ — with exponential backoff between recoveries.
+
+    Attributes:
+        max_retries: ladder re-runs before giving up (0 disables recovery).
+        backoff: delay before the first re-run; doubles per recovery.
+        backoff_cap: upper bound on the re-run delay.
+    """
+
+    max_retries: int = 2
+    backoff: float = 0.5
+    backoff_cap: float = 8.0
+
+
 @dataclass
 class ConnectOutcome:
     """One strategy attempt's result."""
@@ -55,11 +75,14 @@ class ConnectResult:
             RelaySession) or None if even relaying was impossible.
         strategy: the winning strategy name, or None.
         attempts: per-strategy outcomes in the order tried.
+        recovery: 0 for the initial connect; N for the Nth ladder re-run
+            after a channel broke (see :class:`RetryPolicy`).
     """
 
     channel: Optional[Channel] = None
     strategy: Optional[str] = None
     attempts: List[ConnectOutcome] = field(default_factory=list)
+    recovery: int = 0
 
     @property
     def connected(self) -> bool:
@@ -75,6 +98,9 @@ class P2PConnector:
         transport: TRANSPORT_UDP (punch then relay) or TRANSPORT_TCP
             (punch, reversal, then relay).
         phase_timeout: per-strategy budget in virtual seconds.
+        retry_policy: if set, a channel that later breaks (UDP keepalive
+            decay, peer-closed TCP stream) re-runs the ladder and fires
+            *on_result* again with ``result.recovery`` incremented.
     """
 
     def __init__(
@@ -83,15 +109,27 @@ class P2PConnector:
         transport: int = TRANSPORT_UDP,
         phase_timeout: float = 10.0,
         use_reversal: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.client = client
         self.transport = transport
         self.phase_timeout = phase_timeout
         self.use_reversal = use_reversal and transport == TRANSPORT_TCP
+        self.retry_policy = retry_policy
+        #: Ladder re-runs triggered by broken channels, across all connects.
+        self.recoveries = 0
 
     def connect(self, peer_id: int, on_result: ResultHandler) -> None:
-        """Run the ladder toward *peer_id*; *on_result* fires exactly once."""
-        result = ConnectResult()
+        """Run the ladder toward *peer_id*.
+
+        Without a :class:`RetryPolicy`, *on_result* fires exactly once.  With
+        one, it fires again after each successful recovery (``recovery`` > 0
+        on the new result), so the application can swap in the new channel.
+        """
+        self._connect(peer_id, on_result, recovery=0)
+
+    def _connect(self, peer_id: int, on_result: ResultHandler, recovery: int) -> None:
+        result = ConnectResult(recovery=recovery)
         strategies = [STRATEGY_PUNCH]
         if self.use_reversal:
             strategies.append(STRATEGY_REVERSAL)
@@ -139,6 +177,8 @@ class P2PConnector:
                     else OUTCOME_OK
                 )
                 span.finish(outcome, strategy=strategy)
+            if self.retry_policy is not None:
+                self._watch_channel(peer_id, channel, on_result, result.recovery)
             on_result(result)
 
         def fail(error: Exception) -> None:
@@ -179,6 +219,32 @@ class P2PConnector:
             # client/server connections, so it succeeds immediately.
             relay = self.client.open_relay(peer_id, self.transport)
             succeed(relay, "relayed via S")
+
+    # -- recovery (RetryPolicy) ----------------------------------------------------
+
+    def _watch_channel(
+        self, peer_id: int, channel: Channel, on_result: ResultHandler, recovery: int
+    ) -> None:
+        """Hook the channel's breakage signal to a ladder re-run."""
+        policy = self.retry_policy
+        if policy is None or recovery >= policy.max_retries:
+            return
+        if isinstance(channel, UdpSession):
+            channel.on_broken = lambda: self._channel_broken(peer_id, on_result, recovery)
+        elif isinstance(channel, TcpStream):
+            channel.on_close = lambda: self._channel_broken(peer_id, on_result, recovery)
+        # RelaySession rides the always-on connection to S — nothing to watch.
+
+    def _channel_broken(self, peer_id: int, on_result: ResultHandler, recovery: int) -> None:
+        policy = self.retry_policy
+        if policy is None:  # pragma: no cover - watch is only armed with a policy
+            return
+        self.recoveries += 1
+        self.client.metrics.counter("connector.recoveries").inc()
+        delay = min(policy.backoff * (2 ** recovery), policy.backoff_cap)
+        self.client.scheduler.call_later(
+            delay, self._connect, peer_id, on_result, recovery + 1
+        )
 
     def _try_punch(self, peer_id: int, succeed, fail) -> None:
         import dataclasses

@@ -134,10 +134,28 @@ class RendezvousServer:
         self.relayed_messages = 0
         self.relayed_bytes = 0
         self.errors_sent = 0
+        self.restarts = 0
+        self.endpoint_moves = 0
 
     @property
     def scheduler(self):
         return self.host.scheduler
+
+    def restart(self) -> None:
+        """Simulate a server crash/restart: all soft state is lost.
+
+        Registrations, control connections, and pair nonces vanish; the
+        sockets stay bound (same well-known endpoint).  Clients discover the
+        amnesia when their next Keepalive draws a NOT_REGISTERED error and
+        re-register (see ``PeerClient.auto_reregister``).
+        """
+        self.restarts += 1
+        self.udp_clients.clear()
+        self.tcp_clients.clear()
+        self._pair_nonces.clear()
+        conns, self._tcp_conns = self._tcp_conns, {}
+        for control in conns.values():
+            control.conn.abort()
 
     def registration(self, client_id: int, transport: int = TRANSPORT_UDP) -> Optional[Registration]:
         table = self.udp_clients if transport == TRANSPORT_UDP else self.tcp_clients
@@ -171,9 +189,26 @@ class RendezvousServer:
             )
         elif isinstance(message, Keepalive):
             reg = self.udp_clients.get(message.client_id)
-            if reg is not None and reg.public_ep == src:
+            if reg is None:
+                # We don't know this client (e.g. our state was lost across a
+                # restart): tell it so it can re-register (§3.1).
+                self._error(
+                    RendezvousError.NOT_REGISTERED,
+                    f"client {message.client_id} not registered",
+                    reply_to=src,
+                )
+            elif reg.public_ep == src:
                 reg.last_seen = now
                 reg.keepalives += 1
+            else:
+                # Same client, new observed endpoint: its NAT rebooted or the
+                # old mapping expired and the keepalive cut a fresh one.  Track
+                # the move so later endpoint exchanges hand out a hole that
+                # still exists.
+                reg.public_ep = src
+                reg.last_seen = now
+                reg.keepalives += 1
+                self.endpoint_moves += 1
         elif isinstance(message, ConnectRequest):
             self._handle_connect(message, reply_to=src)
         elif isinstance(message, RelayPayload):

@@ -53,6 +53,13 @@ class PunchConfig:
             guessing which port the peer's NAT will assign to the punch
             session.  0 (default) disables it — the paper calls prediction
             "chasing a moving target", useful but not a robust solution.
+        repunch_attempts: §3.6's "re-run the hole punching procedure on
+            demand", automated: when the session is declared broken the
+            client re-punches up to this many times before giving up.
+            0 (default) leaves recovery to the application's ``on_broken``.
+        repunch_backoff: delay before the first re-punch attempt; each
+            subsequent attempt doubles it (exponential backoff).
+        repunch_backoff_cap: upper bound on the backoff delay.
     """
 
     probe_interval: float = 0.25
@@ -60,6 +67,9 @@ class PunchConfig:
     keepalive_interval: float = 15.0
     broken_after_missed: int = 3
     predict_ports: int = 0
+    repunch_attempts: int = 0
+    repunch_backoff: float = 0.5
+    repunch_backoff_cap: float = 8.0
 
 
 SessionHandler = Callable[["UdpSession"], None]
@@ -74,6 +84,9 @@ class UdpSession:
         on_data: callback ``(payload: bytes)`` for application data.
         on_broken: callback invoked once if the NAT hole dies (keepalives
             unanswered); the application should re-punch on demand.
+        on_repunched: callback ``(new_session)`` invoked when the client's
+            automatic re-punch (``config.repunch_attempts > 0``) replaces
+            this broken session with a fresh one.
     """
 
     def __init__(
@@ -92,6 +105,7 @@ class UdpSession:
         self.established_at = client.scheduler.now
         self.on_data: Optional[Callable[[bytes], None]] = None
         self.on_broken: Optional[Callable[[], None]] = None
+        self.on_repunched: Optional[Callable[["UdpSession"], None]] = None
         self.on_closed_by_peer: Optional[Callable[[], None]] = None
         self.closed = False
         self.broken = False
@@ -185,6 +199,9 @@ class UdpSession:
         self.client.metrics.counter("session.udp.broken").inc()
         callback = self.on_broken
         self.close()
+        # The client gets first look so automatic re-punch (§3.6: re-run the
+        # hole punching procedure on demand) can start before the app reacts.
+        self.client._session_broken(self)
         if callback is not None:
             callback()
 

@@ -66,6 +66,7 @@ class NatDevice(Router):
         self.hairpin_forwarded = 0
         self.hairpin_refused = 0
         self.payloads_mangled = 0
+        self.reboots = 0
         #: Why packets died here (reason -> count); feeds the ``nat.drops``
         #: metric.  Reasons: no-mapping, filtered, icmp-unmatched, no-route,
         #: ttl-expired, hairpin-refused.
@@ -117,6 +118,27 @@ class NatDevice(Router):
         if self.lan_pool is None:
             raise RoutingError(f"{self.name}: no LAN configured")
         return self.lan_pool.allocate()
+
+    # -- fault injection ----------------------------------------------------------
+
+    #: Port-base offset applied per reboot so post-reboot mappings land on
+    #: visibly different public ports (wraps back into the dynamic range).
+    REBOOT_PORT_SHIFT = 1000
+
+    def reset_state(self, port_base: Optional[int] = None) -> None:
+        """Simulate a NAT reboot: the translation table is cleared, expiry
+        timers are cancelled, and the port allocator restarts from a bumped
+        base — the consumer-NAT "lost its state" event (§3.6) that silently
+        breaks every punched hole through this device.
+        """
+        if self.table is None:
+            raise RoutingError(f"{self.name}: WAN not configured")
+        self.reboots += 1
+        if port_base is None:
+            port_base = self.table.port_base + self.REBOOT_PORT_SHIFT
+            if port_base > 0xFFFF - self.REBOOT_PORT_SHIFT:
+                port_base = self.behavior.port_base
+        self.table.reset(port_base=port_base)
 
     # -- data path ----------------------------------------------------------------
 
@@ -309,6 +331,12 @@ class NatDevice(Router):
         if packet.proto is IpProtocol.ICMP:
             self.packets_dropped += 1
             return
+        # TTL check first, mirroring _translate_outbound: a packet that is
+        # going to die must not create mappings or refresh filter state.
+        if packet.ttl <= 1:
+            self.packets_dropped += 1
+            self._count_drop("ttl-expired")
+            return
         if not self.behavior.hairpin_for(packet.proto):
             self.hairpin_refused += 1
             self._count_drop("hairpin-refused")
@@ -331,10 +359,6 @@ class NatDevice(Router):
             self.hairpin_refused += 1
             self._count_drop("hairpin-refused")
             self._refuse(packet)
-            return
-        if packet.ttl <= 1:
-            self.packets_dropped += 1
-            self._count_drop("ttl-expired")
             return
         dst_mapping.note_inbound(self.scheduler.now, self.behavior.refresh_on_inbound)
         translated = packet.copy()

@@ -158,8 +158,13 @@ class NatTable:
         self._by_public: Dict[Tuple[IpProtocol, int], NatMapping] = {}
         self._next_port = port_base
         self._timers: Dict[MappingKey, Timer] = {}
+        #: private port -> {owner private IP -> live mapping count}.  Kept in
+        #: sync by create/remove so the §6.3 per-port conflict check is O(1)
+        #: per packet instead of a scan over the whole table.
+        self._private_port_owners: Dict[int, Dict[IPv4Address, int]] = {}
         self.mappings_created = 0
         self.mappings_expired = 0
+        self.mappings_lost_to_reset = 0
 
     # -- port allocation -------------------------------------------------------
 
@@ -219,6 +224,8 @@ class NatTable:
         )
         self._by_key[key] = mapping
         self._by_public[(proto, port)] = mapping
+        owners = self._private_port_owners.setdefault(private.port, {})
+        owners[private.ip] = owners.get(private.ip, 0) + 1
         self.mappings_created += 1
         self._arm_expiry(mapping, idle_timeout)
         return mapping
@@ -228,11 +235,23 @@ class NatTable:
 
     def has_conflicting_private_port(self, private: Endpoint) -> bool:
         """True if another private host already maps the same private port
-        (the §6.3 downgrade trigger)."""
-        return any(
-            m.private.port == private.port and m.private.ip != private.ip
-            for m in self._by_key.values()
-        )
+        (the §6.3 downgrade trigger).  O(1) via the private-port index."""
+        owners = self._private_port_owners.get(private.port)
+        if not owners:
+            return False
+        return any(ip != private.ip for ip in owners)
+
+    def _unindex_private(self, private: Endpoint) -> None:
+        owners = self._private_port_owners.get(private.port)
+        if owners is None:
+            return
+        count = owners.get(private.ip, 0) - 1
+        if count > 0:
+            owners[private.ip] = count
+        else:
+            owners.pop(private.ip, None)
+            if not owners:
+                del self._private_port_owners[private.port]
 
     # -- expiry ------------------------------------------------------------------
 
@@ -276,13 +295,36 @@ class NatTable:
             self.remove(mapping)
 
     def remove(self, mapping: NatMapping) -> None:
-        self._by_key.pop(mapping.key, None)
+        existing = self._by_key.pop(mapping.key, None)
         self._by_public.pop((mapping.proto, mapping.public.port), None)
         timer = self._timers.pop(mapping.key, None)
         if timer is not None:
             timer.cancel()
+        if existing is not None:
+            self._unindex_private(existing.private)
         if self._on_expire is not None:
             self._on_expire(mapping)
+
+    def reset(self, port_base: Optional[int] = None) -> None:
+        """Forget all translation state — the NAT rebooted.
+
+        Every mapping is dropped without firing ``on_expire`` (the box lost
+        power; nothing ran), every expiry timer is cancelled, and the port
+        allocator restarts from *port_base* (default: the existing base), so
+        sessions re-created after the reboot land on fresh public ports —
+        the classic consumer-NAT state loss the paper's keepalive discussion
+        (§3.6) presupposes.
+        """
+        self.mappings_lost_to_reset += len(self._by_key)
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        self._by_key.clear()
+        self._by_public.clear()
+        self._private_port_owners.clear()
+        if port_base is not None:
+            self.port_base = port_base
+        self._next_port = self.port_base
 
     # -- introspection -----------------------------------------------------------
 

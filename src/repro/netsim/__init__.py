@@ -5,8 +5,9 @@ event scheduler (:mod:`repro.netsim.clock`), an IPv4 addressing model with
 public/private realms (:mod:`repro.netsim.addresses`), a packet model covering
 UDP, TCP, and ICMP (:mod:`repro.netsim.packet`), links with latency/jitter/loss
 (:mod:`repro.netsim.link`), hosts and routers with longest-prefix-match
-forwarding (:mod:`repro.netsim.node`, :mod:`repro.netsim.routing`), and a
-topology container (:mod:`repro.netsim.network`).
+forwarding (:mod:`repro.netsim.node`, :mod:`repro.netsim.routing`), a
+topology container (:mod:`repro.netsim.network`), and deterministic fault
+injection (:mod:`repro.netsim.faults`).
 """
 
 from repro.netsim.addresses import (
@@ -17,6 +18,7 @@ from repro.netsim.addresses import (
     is_private,
 )
 from repro.netsim.clock import Scheduler, Timer
+from repro.netsim.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.netsim.link import Link, LinkProfile
 from repro.netsim.network import Network
 from repro.netsim.node import Host, Node, Router
@@ -32,6 +34,9 @@ __all__ = [
     "is_private",
     "Scheduler",
     "Timer",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
     "Link",
     "LinkProfile",
     "Network",

@@ -38,12 +38,17 @@ class Timer:
         self._scheduler = scheduler
 
     def cancel(self) -> None:
-        """Prevent the callback from running; idempotent."""
-        if not self._cancelled and not self._fired:
-            self._cancelled = True
-            if self._scheduler is not None:
-                self._scheduler.events_cancelled += 1
+        """Prevent the callback from running; idempotent.
+
+        Cancelling a timer that already fired is a no-op: the timer stays
+        in the ``fired`` state rather than reporting both ``fired`` and
+        ``cancelled`` True.
+        """
+        if self._cancelled or self._fired:
+            return
         self._cancelled = True
+        if self._scheduler is not None:
+            self._scheduler.events_cancelled += 1
 
     @property
     def cancelled(self) -> bool:

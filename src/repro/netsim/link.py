@@ -14,11 +14,12 @@ drawn from the owning network's seeded RNG, so runs are reproducible.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.netsim.addresses import IPv4Address
-from repro.netsim.clock import Scheduler
+from repro.netsim.clock import Scheduler, Timer
 from repro.netsim.packet import Packet
 from repro.util.rng import SeededRng
 
@@ -43,6 +44,19 @@ class LinkProfile:
         max_queue_delay: tail-drop threshold — a packet that would wait
             longer than this in the transmit queue is dropped.  None = an
             unbounded queue.
+        burst_enter: per-packet probability of the Gilbert-Elliott loss model
+            transitioning from the good state into the bad (bursty) state.
+            0 (default) disables the model entirely — no extra RNG draws, so
+            existing seeds replay unchanged.
+        burst_exit: per-packet probability of leaving the bad state.  Must be
+            positive when ``burst_enter`` is, or a burst would never end.
+        burst_loss: drop probability while in the bad state (the good state
+            uses the independent ``loss`` field).
+        duplicate: per-packet probability of delivering a second copy — the
+            duplicated datagram a hole-punching protocol must tolerate.
+        reorder: per-packet probability of delaying a packet by an extra
+            ``reorder_delay`` seconds, letting later packets overtake it.
+        reorder_delay: the extra delay applied to reordered packets.
     """
 
     latency: float = 0.010
@@ -50,12 +64,27 @@ class LinkProfile:
     loss: float = 0.0
     bandwidth_bps: Optional[float] = None
     max_queue_delay: Optional[float] = None
+    burst_enter: float = 0.0
+    burst_exit: float = 0.0
+    burst_loss: float = 1.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_delay: float = 0.0
 
     def __post_init__(self) -> None:
         if self.latency < 0 or self.jitter < 0:
             raise ValueError("latency/jitter must be non-negative")
-        if not 0.0 <= self.loss <= 1.0:
-            raise ValueError(f"loss probability out of range: {self.loss}")
+        for name in ("loss", "burst_enter", "burst_exit", "burst_loss",
+                     "duplicate", "reorder"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} probability out of range: {value}")
+        if self.burst_enter > 0 and self.burst_exit <= 0:
+            raise ValueError("burst_enter requires a positive burst_exit")
+        if self.reorder > 0 and self.reorder_delay <= 0:
+            raise ValueError("reorder requires a positive reorder_delay")
+        if self.reorder_delay < 0:
+            raise ValueError("reorder_delay must be non-negative")
         if self.bandwidth_bps is not None and self.bandwidth_bps <= 0:
             raise ValueError("bandwidth_bps must be positive")
         if self.max_queue_delay is not None and self.max_queue_delay < 0:
@@ -89,9 +118,20 @@ class Link:
         self._attachments: List[Tuple["Node", IPv4Address]] = []
         self._owner_index: Dict[IPv4Address, "Node"] = {}
         self._busy_until = 0.0
+        self._up = True
+        self._ge_bad = False  # Gilbert-Elliott state: currently in a burst?
+        #: Scheduled-but-undelivered packets: seq -> (timer, sender, receiver,
+        #: packet).  Needed so link flaps and node detachment can drop
+        #: in-flight traffic instead of delivering to a dead segment/host.
+        self._in_flight: Dict[int, Tuple[Timer, "Node", "Node", Packet]] = {}
+        self._flight_seq = itertools.count()
         self.packets_sent = 0
         self.packets_dropped = 0
         self.queue_drops = 0
+        self.flap_drops = 0
+        self.burst_drops = 0
+        self.duplicates_delivered = 0
+        self.packets_reordered = 0
         self.bytes_sent = 0
         #: Per-protocol breakdowns (IpProtocol -> count), fed to the metrics
         #: registry by the owning network's collector.
@@ -107,9 +147,46 @@ class Link:
         self._owner_index[address] = node
 
     def detach(self, node: "Node") -> None:
-        """Remove every attachment belonging to *node*."""
+        """Remove every attachment belonging to *node*.
+
+        In-flight deliveries addressed to *node* are cancelled: a crashed or
+        unplugged host must not keep receiving packets that were already on
+        the wire when it left the segment.
+        """
         self._attachments = [(n, ip) for n, ip in self._attachments if n is not node]
         self._owner_index = {ip: n for n, ip in self._attachments}
+        for seq, (timer, sender, receiver, packet) in list(self._in_flight.items()):
+            if receiver is node:
+                timer.cancel()
+                del self._in_flight[seq]
+                self.packets_dropped += 1
+                self._record(packet, sender, receiver, "detach-drop")
+
+    # -- link state (fault injection) -------------------------------------------
+
+    @property
+    def is_up(self) -> bool:
+        return self._up
+
+    def down(self) -> None:
+        """Take the segment down: in-flight packets are dropped and further
+        transmissions fail until :meth:`up`.  Idempotent."""
+        if not self._up:
+            return
+        self._up = False
+        for timer, sender, receiver, packet in self._in_flight.values():
+            timer.cancel()
+            self.packets_dropped += 1
+            self.flap_drops += 1
+            self._record(packet, sender, receiver, "flap-drop")
+        self._in_flight.clear()
+
+    def up(self) -> None:
+        """Bring the segment back; the transmit queue restarts empty."""
+        if self._up:
+            return
+        self._up = True
+        self._busy_until = 0.0
 
     @property
     def attached_nodes(self) -> List["Node"]:
@@ -127,6 +204,11 @@ class Link:
         on the wire — exactly how a datagram to a non-existent private host
         behaves in the paper's §3.4 scenario.
         """
+        if not self._up:
+            self.packets_dropped += 1
+            self.flap_drops += 1
+            self._record(packet, sender, None, "link-down")
+            return False
         receiver = self._owner_index.get(IPv4Address(next_hop_ip))
         if receiver is None or receiver is sender:
             self.packets_dropped += 1
@@ -136,6 +218,12 @@ class Link:
             self.packets_dropped += 1
             self.lost_by_proto[packet.proto] = self.lost_by_proto.get(packet.proto, 0) + 1
             self._record(packet, sender, receiver, "lost")
+            return False
+        if self.profile.burst_enter and self._ge_burst_drops(packet):
+            self.packets_dropped += 1
+            self.burst_drops += 1
+            self.lost_by_proto[packet.proto] = self.lost_by_proto.get(packet.proto, 0) + 1
+            self._record(packet, sender, receiver, "burst-lost")
             return False
         delay = self.profile.latency
         if self.profile.jitter:
@@ -154,12 +242,44 @@ class Link:
             serialization = packet.size * 8 / self.profile.bandwidth_bps
             self._busy_until = now + queue_wait + serialization
             delay += queue_wait + serialization
+        if self.profile.reorder and self._rng.chance(self.profile.reorder):
+            delay += self.profile.reorder_delay
+            self.packets_reordered += 1
         self.packets_sent += 1
         self.bytes_sent += packet.size
         self.sent_by_proto[packet.proto] = self.sent_by_proto.get(packet.proto, 0) + 1
         self._record(packet, sender, receiver, "sent")
-        self.scheduler.call_later(delay, receiver.receive, packet, self)
+        self._schedule_delivery(packet, sender, receiver, delay)
+        if self.profile.duplicate and self._rng.chance(self.profile.duplicate):
+            # A duplicated datagram trails its original by one extra latency.
+            self.duplicates_delivered += 1
+            self.packets_sent += 1
+            self.bytes_sent += packet.size
+            self.sent_by_proto[packet.proto] = self.sent_by_proto.get(packet.proto, 0) + 1
+            self._record(packet, sender, receiver, "duplicated")
+            self._schedule_delivery(packet, sender, receiver, delay + self.profile.latency)
         return True
+
+    def _ge_burst_drops(self, packet: Packet) -> bool:
+        """Advance the Gilbert-Elliott two-state chain one packet and report
+        whether the bad state claims this packet."""
+        if self._ge_bad:
+            if self._rng.chance(self.profile.burst_exit):
+                self._ge_bad = False
+        elif self._rng.chance(self.profile.burst_enter):
+            self._ge_bad = True
+        return self._ge_bad and self._rng.chance(self.profile.burst_loss)
+
+    def _schedule_delivery(
+        self, packet: Packet, sender: "Node", receiver: "Node", delay: float
+    ) -> None:
+        seq = next(self._flight_seq)
+        timer = self.scheduler.call_later(delay, self._deliver, seq)
+        self._in_flight[seq] = (timer, sender, receiver, packet)
+
+    def _deliver(self, seq: int) -> None:
+        _, _, receiver, packet = self._in_flight.pop(seq)
+        receiver.receive(packet, self)
 
     def _record(self, packet: Packet, sender: "Node", receiver, event: str) -> None:
         if self._trace is not None:

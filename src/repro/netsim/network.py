@@ -139,11 +139,16 @@ class Network:
         sent_by_proto: Dict[object, int] = {}
         lost_by_proto: Dict[object, int] = {}
         packets = drops = queue_drops = total_bytes = 0
+        flap_drops = burst_drops = duplicates = reordered = 0
         for link in self.links.values():
             packets += link.packets_sent
             drops += link.packets_dropped
             queue_drops += link.queue_drops
             total_bytes += link.bytes_sent
+            flap_drops += link.flap_drops
+            burst_drops += link.burst_drops
+            duplicates += link.duplicates_delivered
+            reordered += link.packets_reordered
             for proto, count in link.sent_by_proto.items():
                 sent_by_proto[proto] = sent_by_proto.get(proto, 0) + count
             for proto, count in link.lost_by_proto.items():
@@ -151,6 +156,10 @@ class Network:
         registry.counter("link.packets_sent").value = packets
         registry.counter("link.packets_dropped").value = drops
         registry.counter("link.queue_drops").value = queue_drops
+        registry.counter("link.flap_drops").value = flap_drops
+        registry.counter("link.burst_drops").value = burst_drops
+        registry.counter("link.duplicates").value = duplicates
+        registry.counter("link.reordered").value = reordered
         registry.counter("link.bytes_sent").value = total_bytes
         for proto, count in sent_by_proto.items():
             registry.counter("link.packets_sent", proto=proto.name.lower()).value = count
@@ -169,6 +178,10 @@ class Network:
                 registry.counter("nat.translations_out", node=name).value = node.translations_out
                 registry.counter("nat.translations_in", node=name).value = node.translations_in
                 registry.counter("nat.hairpin_forwarded", node=name).value = node.hairpin_forwarded
+                registry.counter("nat.reboots", node=name).value = getattr(node, "reboots", 0)
+                registry.counter("nat.mappings_lost_to_reset", node=name).value = getattr(
+                    table, "mappings_lost_to_reset", 0
+                )
                 for reason, count in getattr(node, "drops_by_reason", {}).items():
                     registry.counter("nat.drops", node=name, reason=reason).value = count
             stack = getattr(node, "stack", None)

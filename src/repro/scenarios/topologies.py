@@ -88,6 +88,17 @@ class Scenario:
             lambda: all(c.tcp_registered for c in self.clients.values()), timeout
         )
 
+    def inject_faults(self, plan) -> "FaultInjector":
+        """Arm a :class:`~repro.netsim.faults.FaultPlan` on this scenario.
+
+        Application-level targets are pre-wired: ``"S"`` names the rendezvous
+        server (for ``server-restart``), and NAT faults may use either the
+        scenario label (``"A"``) or the device name (``"NAT-A"``).
+        """
+        targets: Dict[str, object] = {"S": self.server}
+        targets.update(self.nats)
+        return plan.schedule(self.net, targets=targets)
+
 
 class ScenarioBuilder:
     """Incremental construction of a scenario around one public backbone."""

@@ -56,6 +56,18 @@ def test_cancel_is_idempotent():
     assert timer.cancelled
 
 
+def test_cancel_after_firing_is_noop():
+    """A fired timer must stay 'fired', not become fired *and* cancelled."""
+    s = Scheduler()
+    timer = s.call_later(1.0, lambda: None)
+    s.run()
+    assert timer.fired
+    timer.cancel()
+    assert timer.fired
+    assert not timer.cancelled
+    assert s.events_cancelled == 0
+
+
 def test_timer_active_lifecycle():
     s = Scheduler()
     timer = s.call_later(1.0, lambda: None)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.core.connector import (
     P2PConnector,
+    RetryPolicy,
     STRATEGY_PUNCH,
     STRATEGY_RELAY,
     STRATEGY_REVERSAL,
@@ -125,6 +126,50 @@ def test_turn_rung_wins_before_s_relay_when_enabled():
     sc.run_for(2.0)
     assert got == [b"laddered via TURN"]
     assert sc.server.relayed_bytes == 0  # S carried no application data
+
+
+def test_retry_policy_reruns_ladder_after_nat_reboot():
+    """A RetryPolicy turns the one-shot ladder into a self-healing channel:
+    when the punched hole dies, the connector re-runs the ladder and hands
+    the application a fresh channel with result.recovery incremented."""
+    from repro.core.udp_punch import PunchConfig
+    from repro.netsim.faults import FAULT_NAT_REBOOT, FaultPlan
+
+    sc = build_two_nats(seed=71)
+    config = PunchConfig(keepalive_interval=1.0, broken_after_missed=3)
+    for c in sc.clients.values():
+        c.punch_config = config
+        c.register_udp()
+    sc.wait_for(lambda: all(c.udp_registered for c in sc.clients.values()), 10.0)
+    for c in sc.clients.values():
+        c.start_server_keepalives(interval=1.0)
+    connector = P2PConnector(
+        sc.clients["A"],
+        transport=TRANSPORT_UDP,
+        phase_timeout=6.0,
+        retry_policy=RetryPolicy(max_retries=3, backoff=0.5),
+    )
+    results = []
+    connector.connect(2, on_result=results.append)
+    sc.wait_for(lambda: results, 30.0)
+    assert results[0].recovery == 0
+    assert results[0].strategy == STRATEGY_PUNCH
+    sc.inject_faults(FaultPlan([(sc.scheduler.now + 1.0, FAULT_NAT_REBOOT, "A")]))
+    sc.wait_for(lambda: len(results) >= 2, 60.0)
+    recovered = results[1]
+    assert recovered.recovery == 1
+    assert recovered.connected
+    assert recovered.channel is not results[0].channel
+    assert connector.recoveries == 1
+    assert sc.clients["A"].metrics.counter("connector.recoveries").value == 1
+
+
+def test_retry_policy_off_by_default():
+    sc = build_two_nats(seed=72)
+    result = run_ladder(sc, TRANSPORT_UDP)
+    assert result.recovery == 0
+    connector = P2PConnector(sc.clients["A"])
+    assert connector.retry_policy is None
 
 
 def test_turn_rung_fails_over_to_s_relay_when_peer_lacks_turn():

@@ -1,0 +1,397 @@
+"""Fault injection (repro.netsim.faults) and the recovery machinery it exercises:
+link flaps, burst loss, duplication, reordering, NAT reboots, server restarts,
+automatic re-punch, and auto-re-registration."""
+
+import pytest
+
+from repro.core.protocol import TRANSPORT_UDP
+from repro.core.udp_punch import PunchConfig
+from repro.netsim.addresses import Endpoint
+from repro.netsim.faults import (
+    DEFAULT_FLAP_SECONDS,
+    FAULT_LINK_FLAP,
+    FAULT_NAT_REBOOT,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.netsim.link import LinkProfile
+from repro.netsim.network import Network
+from repro.netsim.packet import IpProtocol, udp_packet
+from repro.scenarios import build_two_nats
+
+
+def _pair(profile=None, seed=1):
+    net = Network(seed=seed)
+    link = net.create_link("l", profile)
+    a = net.add_host("a", ip="10.0.0.1", network="10.0.0.0/24", link=link)
+    b = net.add_host("b", ip="10.0.0.2", network="10.0.0.0/24", link=link)
+    return net, link, a, b
+
+
+def _blast(net, a, count, spacing=0.01, start=0.0):
+    for i in range(count):
+        net.scheduler.call_at(
+            start + i * spacing,
+            a.send,
+            udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)),
+        )
+
+
+class TestLinkProfileKnobs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkProfile(burst_enter=1.5)
+        with pytest.raises(ValueError):
+            LinkProfile(burst_enter=0.1)  # burst_exit must be > 0 too
+        with pytest.raises(ValueError):
+            LinkProfile(duplicate=-0.1)
+        with pytest.raises(ValueError):
+            LinkProfile(reorder=0.5)  # needs reorder_delay > 0
+
+    def test_defaults_draw_no_rng(self):
+        """All fault knobs default off: the seeded packet stream must be
+        byte-identical to a profile that never heard of them."""
+
+        def arrivals(profile):
+            net, link, a, b = _pair(profile, seed=11)
+            got = []
+            b.register_protocol(IpProtocol.UDP, lambda p: got.append(net.now))
+            _blast(net, a, 50)
+            net.run()
+            return got
+
+        plain = arrivals(LinkProfile(latency=0.05, jitter=0.02, loss=0.1))
+        knobby = arrivals(
+            LinkProfile(
+                latency=0.05, jitter=0.02, loss=0.1,
+                burst_enter=0.0, duplicate=0.0, reorder=0.0,
+            )
+        )
+        assert plain == knobby
+
+
+class TestLinkUpDown:
+    def test_down_drops_new_and_in_flight(self):
+        net, link, a, b = _pair(LinkProfile(latency=0.5))
+        got = []
+        b.register_protocol(IpProtocol.UDP, got.append)
+        a.send(udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        net.scheduler.call_at(0.2, link.down)  # packet still on the wire
+        net.scheduler.call_at(0.3, a.send,
+                              udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        net.run()
+        assert got == []
+        assert link.packets_dropped == 2
+        assert link.flap_drops == 2
+        assert not link.is_up
+
+    def test_up_restores_delivery(self):
+        net, link, a, b = _pair(LinkProfile(latency=0.1))
+        got = []
+        b.register_protocol(IpProtocol.UDP, got.append)
+        link.down()
+        link.down()  # idempotent
+        link.up()
+        a.send(udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        net.run()
+        assert len(got) == 1
+
+    def test_burst_loss_clusters_drops(self):
+        profile = LinkProfile(
+            latency=0.01, burst_enter=0.05, burst_exit=0.3, burst_loss=1.0
+        )
+        net, link, a, b = _pair(profile, seed=7)
+        delivered = []
+        b.register_protocol(IpProtocol.UDP, lambda p: delivered.append(p))
+        _blast(net, a, 500)
+        net.run()
+        assert link.burst_drops > 0
+        assert len(delivered) + link.burst_drops == 500
+        # The Gilbert-Elliott model must drop in runs, not uniformly: with
+        # burst_loss=1.0 a drop's successor is a drop with p=1-burst_exit.
+        assert link.burst_drops >= 10
+
+    def test_duplication_delivers_twice(self):
+        net, link, a, b = _pair(LinkProfile(latency=0.01, duplicate=1.0), seed=3)
+        got = []
+        b.register_protocol(IpProtocol.UDP, got.append)
+        a.send(udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        net.run()
+        assert len(got) == 2
+        assert link.duplicates_delivered == 1
+
+    def test_reorder_delays_marked_packets(self):
+        net, link, a, b = _pair(LinkProfile(latency=0.01, reorder=1.0, reorder_delay=0.5))
+        arrivals = []
+        b.register_protocol(IpProtocol.UDP, lambda p: arrivals.append(net.now))
+        a.send(udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        net.run()
+        assert arrivals == [pytest.approx(0.51)]
+        assert link.packets_reordered == 1
+
+    def test_reordering_lets_later_packets_overtake(self):
+        profile = LinkProfile(latency=0.01, reorder=0.3, reorder_delay=0.5)
+        net, link, a, b = _pair(profile, seed=5)
+        order = []
+        b.register_protocol(IpProtocol.UDP, lambda p: order.append(p.payload))
+        for i in range(20):
+            net.scheduler.call_at(
+                i * 0.05, a.send,
+                udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2),
+                           b"%02d" % i),
+            )
+        net.run()
+        assert link.packets_reordered > 0
+        assert len(order) == 20
+        assert order != sorted(order)  # at least one packet was overtaken
+
+
+class TestFaultPlan:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, FAULT_NAT_REBOOT, "NAT-A")
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "meteor-strike", "earth")
+
+    def test_tuple_entries_and_iteration(self):
+        plan = FaultPlan([(1.0, "link-down", "l"), (2.0, "link-up", "l")])
+        plan.add(3.0, FAULT_LINK_FLAP, "l", 0.5)
+        assert len(plan) == 3
+        assert [e.fault for e in plan] == ["link-down", "link-up", "link-flap"]
+
+    def test_scheduled_flap_fires_and_recovers(self):
+        net, link, a, b = _pair(LinkProfile(latency=0.01))
+        got = []
+        b.register_protocol(IpProtocol.UDP, got.append)
+        injector = FaultPlan([(1.0, "link-flap", "l", 2.0)]).schedule(net)
+        _blast(net, a, 1, start=1.5)   # mid-flap: dropped
+        _blast(net, a, 1, start=3.5)   # after recovery: delivered
+        net.run()
+        assert len(got) == 1
+        assert link.flap_drops == 1
+        assert [e.fault for e in injector.injected] == ["link-flap"]
+        assert net.metrics.counter("faults.injected", fault="link-flap").value == 1
+
+    def test_default_flap_duration(self):
+        net, link, a, b = _pair(LinkProfile(latency=0.01))
+        FaultPlan([(1.0, "link-flap", "l")]).schedule(net)
+        net.run_until(1.0 + DEFAULT_FLAP_SECONDS / 2)
+        assert not link.is_up
+        net.run_until(1.0 + DEFAULT_FLAP_SECONDS + 0.1)
+        assert link.is_up
+
+    def test_unknown_targets_raise_at_fire_time(self):
+        net, link, a, b = _pair()
+        FaultPlan([(1.0, "link-down", "nope")]).schedule(net)
+        with pytest.raises(KeyError):
+            net.run()
+        net2, *_ = _pair()
+        FaultPlan([(1.0, "server-restart", "S")]).schedule(net2)
+        with pytest.raises(KeyError):
+            net2.run()
+
+    def test_injector_repr(self):
+        net, *_ = _pair()
+        injector = FaultInjector(net)
+        assert "injected=0" in repr(injector)
+
+
+class TestNatReboot:
+    def test_reboot_clears_mappings_and_shifts_ports(self):
+        sc = build_two_nats(seed=21)
+        sc.register_all_udp()
+        nat = sc.nats["A"]
+        assert len(nat.table) > 0
+        old_base = nat.table.port_base
+        nat.reset_state()
+        assert len(nat.table) == 0
+        assert nat.reboots == 1
+        assert nat.table.port_base == old_base + nat.REBOOT_PORT_SHIFT
+        assert nat.table.mappings_lost_to_reset > 0
+
+    def test_reboot_counts_in_metrics(self):
+        sc = build_two_nats(seed=22)
+        sc.register_all_udp()
+        sc.inject_faults(FaultPlan([(5.0, FAULT_NAT_REBOOT, "A")]))
+        sc.run_for(6.0)
+        snap = sc.net.metrics.snapshot()
+        assert sc.nats["A"].reboots == 1
+        assert sc.net.metrics.counter("nat.reboots", node="NAT-A").value == 1
+
+    def test_scenario_label_and_device_name_both_resolve(self):
+        sc = build_two_nats(seed=23)
+        sc.register_all_udp()
+        sc.inject_faults(
+            FaultPlan([(1.0, FAULT_NAT_REBOOT, "A"), (2.0, FAULT_NAT_REBOOT, "NAT-B")])
+        )
+        sc.run_for(3.0)
+        assert sc.nats["A"].reboots == 1
+        assert sc.nats["B"].reboots == 1
+
+
+class TestServerRestart:
+    def test_keepalive_draws_not_registered_and_client_reregisters(self):
+        sc = build_two_nats(seed=31)
+        sc.register_all_udp()
+        a = sc.clients["A"]
+        a.start_server_keepalives(interval=2.0)
+        sc.inject_faults(FaultPlan([(5.0, "server-restart", "S")]))
+        sc.run_for(4.9)
+        assert sc.server.registration(1, TRANSPORT_UDP) is not None
+        sc.run_for(0.2)  # restart fires
+        assert sc.server.registration(1, TRANSPORT_UDP) is None
+        assert sc.server.restarts == 1
+        # Next keepalive -> NOT_REGISTERED -> automatic re-registration.
+        sc.wait_for(lambda: sc.server.registration(1, TRANSPORT_UDP) is not None, 10.0)
+        sc.run_for(1.0)  # let the Registered reply make it back to A
+        assert a.udp_registered
+        assert a.metrics.counter("client.reregistrations").value >= 1
+
+    def test_auto_reregister_can_be_disabled(self):
+        sc = build_two_nats(seed=32)
+        sc.register_all_udp()
+        a = sc.clients["A"]
+        a.auto_reregister = False
+        a.start_server_keepalives(interval=2.0)
+        sc.inject_faults(FaultPlan([(3.0, "server-restart", "S")]))
+        sc.run_for(20.0)
+        assert sc.server.registration(1, TRANSPORT_UDP) is None
+
+
+class TestEndToEndRecovery:
+    def _recovery_config(self):
+        return PunchConfig(
+            keepalive_interval=1.0,
+            broken_after_missed=3,
+            repunch_attempts=5,
+            repunch_backoff=0.5,
+            repunch_backoff_cap=4.0,
+        )
+
+    def test_nat_reboot_breaks_then_repunch_heals(self):
+        """The acceptance scenario: a mid-session NAT reboot kills the hole,
+        keepalive decay detects it, the client re-punches automatically, and
+        the recovery lock-in lands in punch.udp.lock_in_seconds."""
+        config = self._recovery_config()
+        sc = build_two_nats(seed=41)
+        for c in sc.clients.values():
+            c.punch_config = config
+        sc.register_all_udp()
+        for c in sc.clients.values():
+            # Server keepalives cut a fresh NAT mapping after the reboot, so
+            # S learns A's new public endpoint (reg.endpoint_moves).
+            c.start_server_keepalives(interval=1.0)
+        sessions = {}
+        sc.clients["B"].on_peer_session = lambda s: sessions.setdefault("b", s)
+        sc.clients["A"].connect_udp(2, on_session=lambda s: sessions.setdefault("a", s))
+        sc.wait_for(lambda: "a" in sessions and "b" in sessions, 20.0)
+        first = sessions["a"]
+        replacement = {}
+        first.on_repunched = lambda s: replacement.setdefault("new", s)
+
+        hist = sc.net.metrics.histogram("punch.udp.lock_in_seconds")
+        locks_before = hist.count
+        reboot_at = sc.scheduler.now + 2.0
+        sc.inject_faults(FaultPlan([(reboot_at, FAULT_NAT_REBOOT, "A")]))
+
+        sc.wait_for(lambda: "new" in replacement, 60.0)
+        healed = replacement["new"]
+        assert healed is not first
+        assert healed.alive and first.broken
+        assert sc.server.endpoint_moves >= 1
+        assert sc.nats["A"].reboots == 1
+        assert sc.net.metrics.counter("session.udp.repunched").value >= 1
+        assert hist.count > locks_before  # recovery latency was observed
+
+        # The healed hole carries data both ways (B may lock in a beat later).
+        b = sc.clients["B"]
+        sc.wait_for(lambda: 1 in b.sessions and b.sessions[1].alive, 10.0)
+        got = []
+        peer_side = b.sessions[1]
+        peer_side.on_data = got.append
+        healed.send(b"back from the dead")
+        sc.run_for(2.0)
+        assert got == [b"back from the dead"]
+
+    def test_repunch_gives_up_after_budget(self):
+        config = PunchConfig(
+            keepalive_interval=1.0,
+            broken_after_missed=2,
+            timeout=2.0,
+            repunch_attempts=2,
+            repunch_backoff=0.25,
+            repunch_backoff_cap=1.0,
+        )
+        sc = build_two_nats(seed=42)
+        for c in sc.clients.values():
+            c.punch_config = config
+        sc.register_all_udp()
+        sessions = {}
+        sc.clients["B"].on_peer_session = lambda s: sessions.setdefault("b", s)
+        sc.clients["A"].connect_udp(2, on_session=lambda s: sessions.setdefault("a", s))
+        sc.wait_for(lambda: "a" in sessions and "b" in sessions, 20.0)
+        # Sever both realms from the backbone: nothing can ever re-punch.
+        sc.net.links["backbone"].down()
+        sc.run_for(120.0)
+        a = sc.clients["A"]
+        assert a.metrics.counter("session.udp.repunch_exhausted").value >= 1
+        assert not sessions["a"].alive
+
+    def test_repunch_disabled_by_default(self):
+        sc = build_two_nats(seed=43)
+        config = PunchConfig(keepalive_interval=1.0, broken_after_missed=2)
+        for c in sc.clients.values():
+            c.punch_config = config
+        sc.register_all_udp()
+        sessions = {}
+        sc.clients["B"].on_peer_session = lambda s: sessions.setdefault("b", s)
+        sc.clients["A"].connect_udp(2, on_session=lambda s: sessions.setdefault("a", s))
+        sc.wait_for(lambda: "a" in sessions, 20.0)
+        sc.net.links["backbone"].down()
+        sc.run_for(60.0)
+        assert not sessions["a"].alive
+        assert sc.clients["A"].metrics.counter("session.udp.repunch_attempts").value == 0
+
+
+class TestFaultedDeterminism:
+    def _faulted_trace(self, seed):
+        profile = LinkProfile(
+            latency=0.02, jitter=0.01, loss=0.02,
+            burst_enter=0.02, burst_exit=0.3, burst_loss=1.0,
+            duplicate=0.05, reorder=0.05, reorder_delay=0.05,
+        )
+        config = PunchConfig(
+            keepalive_interval=1.0, broken_after_missed=3,
+            repunch_attempts=3, repunch_backoff=0.5,
+        )
+        sc = build_two_nats(seed=seed, backbone_profile=profile)
+        sc.net.trace.enable()
+        for c in sc.clients.values():
+            c.punch_config = config
+            c.register_udp(max_tries=8)
+        sc.wait_for(lambda: all(c.udp_registered for c in sc.clients.values()), 15.0)
+        for c in sc.clients.values():
+            c.start_server_keepalives(interval=1.0)
+        done = {}
+        sc.clients["A"].connect_udp(2, on_session=lambda s: done.setdefault("s", s))
+        sc.scheduler.run_while(lambda: not done, sc.scheduler.now + 20.0)
+        sc.inject_faults(
+            FaultPlan([
+                (sc.scheduler.now + 1.0, "link-flap", "backbone", 0.5),
+                (sc.scheduler.now + 4.0, FAULT_NAT_REBOOT, "A"),
+                (sc.scheduler.now + 12.0, "server-restart", "S"),
+            ])
+        )
+        sc.run_for(30.0)
+        return [
+            (round(r.time, 9), r.link, r.sender, r.receiver, r.event,
+             r.packet.proto.value, str(r.packet.src), str(r.packet.dst))
+            for r in sc.net.trace.records
+        ]
+
+    def test_same_seed_same_faulted_wire_trace(self):
+        assert self._faulted_trace(2718) == self._faulted_trace(2718)
+
+    def test_different_seeds_diverge_under_faults(self):
+        assert self._faulted_trace(1) != self._faulted_trace(2)

@@ -98,6 +98,19 @@ class TestLink:
         assert link.owner_of("10.0.0.2") is None
         assert b not in link.attached_nodes
 
+    def test_detach_cancels_in_flight_deliveries(self):
+        """A packet already on the wire must not reach a node that detached
+        before the delivery event fires."""
+        net, link, a, b = self._pair(LinkProfile(latency=0.5))
+        got = []
+        b.register_protocol(IpProtocol.UDP, got.append)
+        a.send(udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        link.detach(b)  # at t=0, delivery scheduled for t=0.5
+        net.run()
+        assert got == []
+        assert link.packets_dropped == 1
+        assert b.packets_received == 0
+
 
 class TestRoutingTable:
     def test_longest_prefix_wins(self):

@@ -230,6 +230,25 @@ class TestHairpin:
         assert got == []
         assert nat.hairpin_refused == 1
 
+    def test_hairpin_expiring_ttl_creates_no_state(self):
+        """Regression: a hairpin packet dying to TTL must not cut a mapping
+        for its sender or refresh the destination's filter/timer state."""
+        net, nat, client, server = build(HAIRPIN_CAPABLE)
+        c1 = client.stack.udp.socket(4321)
+        c1.sendto(b"reg", S_EP)  # primary mapping -> 62000
+        net.run_until(0.5)
+        assert nat.table.mappings_created == 1
+        dying = udp_packet(
+            Endpoint("10.0.0.1", 4322), Endpoint("155.99.25.11", 62000), b"hp"
+        )
+        dying.ttl = 1
+        client.send(dying)
+        net.run_until(1.0)
+        assert nat.drops_by_reason.get("ttl-expired") == 1
+        assert nat.table.mappings_created == 1  # no phantom mapping for :4322
+        assert len(nat.table) == 1
+        assert nat.hairpin_forwarded == 0
+
     def test_hairpin_filters_block_untrusted(self):
         """§6.3: a NAT may treat hairpin traffic as untrusted inbound."""
         behavior = HAIRPIN_CAPABLE.but(hairpin_filters=True)

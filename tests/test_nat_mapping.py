@@ -119,6 +119,37 @@ class TestLookup:
         assert table.has_conflicting_private_port(Endpoint("10.0.0.2", 4321))
         assert not table.has_conflicting_private_port(Endpoint("10.0.0.2", 9999))
 
+    def test_conflict_index_tracks_removal_and_expiry(self):
+        """The private-port index must forget owners when their mappings go."""
+        table = make_table()
+        m = table.create(MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, PRIV, S, 60)
+        other = Endpoint("10.0.0.2", 4321)
+        assert table.has_conflicting_private_port(other)
+        table.remove(m)
+        assert not table.has_conflicting_private_port(other)
+        table.remove(m)  # double-remove must not corrupt the index
+        assert not table.has_conflicting_private_port(other)
+        m2 = table.create(
+            MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, PRIV, S, idle_timeout=10.0
+        )
+        assert table.has_conflicting_private_port(other)
+        table.scheduler.run_until(15.0)  # m2 expires
+        assert not table.has_conflicting_private_port(other)
+
+    def test_conflict_survives_one_of_two_owners_leaving(self):
+        table = make_table()
+        m1 = table.create(MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, PRIV, S, 60)
+        m2 = table.create(
+            MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP,
+            Endpoint("10.0.0.2", 4321), S, 60,
+        )
+        probe = Endpoint("10.0.0.3", 4321)
+        assert table.has_conflicting_private_port(probe)
+        table.remove(m1)
+        assert table.has_conflicting_private_port(probe)  # m2's owner remains
+        table.remove(m2)
+        assert not table.has_conflicting_private_port(probe)
+
 
 class TestFiltering:
     def test_permits_by_port(self):
@@ -181,3 +212,30 @@ class TestExpiry:
         table.remove(m)
         table.scheduler.run_until(60.0)  # must not blow up
         assert len(table) == 0
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        expired = []
+        table = make_table()
+        table._on_expire = expired.append
+        table.create(MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, PRIV, S, 20.0)
+        table.create(
+            MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP,
+            Endpoint("10.0.0.2", 4321), S, 20.0,
+        )
+        table.reset()
+        assert len(table) == 0
+        assert table.mappings_lost_to_reset == 2
+        assert table.lookup_inbound(IpProtocol.UDP, 62000) is None
+        assert not table.has_conflicting_private_port(Endpoint("10.0.0.9", 4321))
+        table.scheduler.run_until(60.0)
+        assert expired == []  # a reboot is not an expiry
+        assert table.mappings_expired == 0
+
+    def test_reset_rebases_port_allocation(self):
+        table = make_table()
+        table.create(MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, PRIV, S, 60)
+        table.reset(port_base=63000)
+        m = table.create(MappingPolicy.ENDPOINT_INDEPENDENT, IpProtocol.UDP, PRIV, S, 60)
+        assert m.public.port == 63000  # old 62000 hole is gone for good
