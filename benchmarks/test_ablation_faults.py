@@ -11,7 +11,12 @@ hole punching procedure on demand" alternative has a quantified cost.
 import statistics
 
 from repro.core.udp_punch import PunchConfig
-from repro.netsim.faults import FAULT_NAT_REBOOT, FAULT_SERVER_RESTART, FaultPlan
+from repro.netsim.faults import (
+    FAULT_NAT_REBOOT,
+    FAULT_SERVER_KILL,
+    FAULT_SERVER_RESTART,
+    FaultPlan,
+)
 from repro.scenarios import build_two_nats
 
 SEEDS = (101, 102, 103, 104, 105, 106, 107)
@@ -85,6 +90,46 @@ def test_nat_reboot_recovery_latency(benchmark):
     benchmark.extra_info["seeds"] = len(SEEDS)
     benchmark.extra_info["recovery_p50_s"] = round(p50, 2)
     benchmark.extra_info["recovery_p95_s"] = round(p95, 2)
+
+
+def test_rendezvous_failover_recovery_latency(benchmark):
+    """S is killed outright (sockets closed, not just amnesiac).  Server
+    keepalives decay, the ServerFailover manager migrates every client to
+    S2, and re-registration completes there — measure virtual time from the
+    kill until both clients are registered on the successor."""
+
+    def measure(seed):
+        sc = build_two_nats(seed=seed, num_servers=2)
+        for c in sc.clients.values():
+            c.punch_config = RECOVERY_CONFIG
+            c.register_udp()
+        sc.wait_for(lambda: all(c.udp_registered for c in sc.clients.values()), 10.0)
+        for c in sc.clients.values():
+            c.start_server_keepalives(interval=1.0)
+        kill_at = sc.scheduler.now + 2.0
+        sc.inject_faults(FaultPlan([(kill_at, FAULT_SERVER_KILL, "S")]))
+        successor = sc.servers["S2"].endpoint
+        sc.wait_for(
+            lambda: all(
+                c.server == successor and c.udp_registered
+                for c in sc.clients.values()
+            ),
+            60.0,
+        )
+        return sc.scheduler.now - kill_at
+
+    def sweep():
+        return [measure(seed) for seed in SEEDS]
+
+    latencies = benchmark(sweep)
+    p50, p95 = _percentiles(latencies)
+    # Detection needs dead_after_missed keepalive misses; migration itself is
+    # one registration round-trip against S2.
+    assert p50 <= 15.0
+    assert p95 <= 30.0
+    benchmark.extra_info["seeds"] = len(SEEDS)
+    benchmark.extra_info["failover_p50_s"] = round(p50, 2)
+    benchmark.extra_info["failover_p95_s"] = round(p95, 2)
 
 
 def test_server_restart_reregistration_latency(benchmark):

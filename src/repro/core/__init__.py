@@ -9,10 +9,12 @@
 * :mod:`repro.core.reversal` — connection reversal (§2.3);
 * :mod:`repro.core.relay` — relaying through S (§2.2);
 * :mod:`repro.core.client` — :class:`PeerClient`, the application-facing API;
-* :mod:`repro.core.connector` — the direct → reversal → punch → relay ladder.
+* :mod:`repro.core.connector` — the direct → reversal → punch → relay ladder;
+* :mod:`repro.core.failover` — rendezvous-server failover (survivability).
 """
 
 from repro.core.client import PeerClient
+from repro.core.failover import FailoverConfig, ServerFailover
 from repro.core.connector import ConnectOutcome, ConnectResult, P2PConnector, RetryPolicy
 from repro.core.rendezvous import RendezvousServer
 from repro.core.relay import RelaySession
@@ -21,6 +23,8 @@ from repro.core.tcp_punch import TcpHolePuncher, TcpStream
 
 __all__ = [
     "PeerClient",
+    "FailoverConfig",
+    "ServerFailover",
     "ConnectOutcome",
     "ConnectResult",
     "P2PConnector",

@@ -20,20 +20,23 @@ connection to S, all sharing one local TCP port via SO_REUSEADDR (§4.1).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import protocol
+from repro.core.failover import FailoverConfig, ServerFailover
 from repro.core.protocol import (
     ConnectRequest,
     FrameBuffer,
     Hello,
     Keepalive,
+    KeepaliveAck,
     Message,
     PeerEndpoints,
     Punch,
     PunchAck,
     Register,
     Registered,
+    RelayError,
     RelayPayload,
     RendezvousError,
     ReverseConnect,
@@ -63,7 +66,7 @@ from repro.obs.spans import OUTCOME_ERROR, Span
 from repro.util.rng import SeededRng
 from repro.netsim.clock import Timer
 from repro.netsim.node import Host
-from repro.util.errors import ProtocolError, ReproError, TimeoutError_
+from repro.util.errors import ConnectionError_, ProtocolError, ReproError, TimeoutError_
 
 SessionHandler = Callable[[UdpSession], None]
 StreamHandler = Callable[[TcpStream], None]
@@ -95,16 +98,26 @@ class PeerClient:
         self,
         host: Host,
         client_id: int,
-        server: Endpoint,
+        server: Optional[Endpoint] = None,
         local_port: int = 4321,
         obfuscate: bool = False,
         punch_config: Optional[PunchConfig] = None,
         tcp_punch_config: Optional[TcpPunchConfig] = None,
         sequential_config: Optional[SequentialConfig] = None,
+        servers: Optional[Sequence[Endpoint]] = None,
+        failover_config: Optional[FailoverConfig] = None,
     ) -> None:
+        if servers:
+            server_list = list(servers)
+        elif server is not None:
+            server_list = [server]
+        else:
+            raise ReproError("PeerClient needs a server endpoint (or servers list)")
         self.host = host
         self.client_id = client_id
-        self.server = server
+        #: The rendezvous server currently in use; a ServerFailover manager
+        #: rewrites this on migration, and every send path reads it live.
+        self.server = server_list[0]
         self.obfuscate = obfuscate
         self.punch_config = punch_config or PunchConfig()
         self.tcp_punch_config = tcp_punch_config or TcpPunchConfig()
@@ -167,6 +180,13 @@ class PeerClient:
         #: Live connect-attempt spans keyed by (transport, peer_id); opened by
         #: connect_udp/connect_tcp, handed to the puncher at endpoint exchange.
         self._connect_spans: Dict[Tuple[int, int], Span] = {}
+        # --- rendezvous failover (multi-server survivability) ----------------------
+        #: Present when the client was given an ordered ``servers`` list (or an
+        #: explicit failover config): drives keepalives and migrates the
+        #: registration when acks to the current server decay.
+        self.failover: Optional[ServerFailover] = None
+        if servers or failover_config is not None:
+            self.failover = ServerFailover(self, server_list, failover_config)
 
     # -- conveniences ------------------------------------------------------------
 
@@ -213,7 +233,15 @@ class PeerClient:
         )
 
     def start_server_keepalives(self, interval: float = 15.0) -> None:
-        """Periodically refresh the registration's NAT mapping (§3.6)."""
+        """Periodically refresh the registration's NAT mapping (§3.6).
+
+        With a :class:`~repro.core.failover.ServerFailover` attached the
+        manager drives the loop instead: its probes double as liveness
+        checks, and unanswered ones trigger migration to the next server.
+        """
+        if self.failover is not None:
+            self.failover.start(interval)
+            return
         if self._server_keepalive_timer is not None:
             self._server_keepalive_timer.cancel()
 
@@ -224,6 +252,8 @@ class PeerClient:
         self._server_keepalive_timer = self.scheduler.call_later(interval, tick)
 
     def stop_server_keepalives(self) -> None:
+        if self.failover is not None:
+            self.failover.stop()
         if self._server_keepalive_timer is not None:
             self._server_keepalive_timer.cancel()
             self._server_keepalive_timer = None
@@ -301,6 +331,9 @@ class PeerClient:
             return
         if isinstance(message, Registered):
             self._udp_registered(message)
+        elif isinstance(message, KeepaliveAck):
+            if message.client_id == self.client_id and self.failover is not None:
+                self.failover.note_ack()
         elif isinstance(message, PeerEndpoints):
             if message.transport == TRANSPORT_UDP:
                 self._udp_endpoint_exchange(message)
@@ -308,6 +341,8 @@ class PeerClient:
             self._route_peer_message(message, src)
         elif isinstance(message, RelayPayload):
             self._route_relay(message, TRANSPORT_UDP)
+        elif isinstance(message, RelayError):
+            self._relay_send_failed(message, TRANSPORT_UDP)
         elif isinstance(message, protocol.TurnExchange):
             self._handle_turn_exchange(message)
         elif isinstance(message, RendezvousError):
@@ -407,6 +442,19 @@ class PeerClient:
             if self.on_relay_session is not None:
                 self.on_relay_session(session)
         session._handle(message)
+
+    def _relay_send_failed(self, error: RelayError, transport: int) -> None:
+        """S reported that a relayed payload had no live target (§2.2).
+
+        Routed to the matching :class:`RelaySession` (never the connect
+        machinery — a relay delivery failure must not fail pending punches).
+        """
+        if error.sender != self.client_id:
+            self.stray_messages += 1
+            return
+        session = self.relays.get((error.target, transport))
+        if session is not None:
+            session._send_failed(error)
 
     def _udp_request_failed(self, error: RendezvousError) -> None:
         if (
@@ -532,6 +580,20 @@ class PeerClient:
 
     def _control_error(self, error) -> None:
         self.tcp_registered = False
+        if self.failover is not None:
+            # RST from a dead/stopped server or retransmission timeout toward
+            # an unreachable one: feed the failover miss counter so TCP-only
+            # clients migrate as promptly as UDP ones.
+            self.failover.note_control_failure()
+
+    def _reopen_control(self) -> None:
+        """Tear down the control connection and re-dial the current server
+        (used by failover after migration and for reconnects)."""
+        self.control_reconnects += 1
+        self.tcp_registered = False
+        if self._control is not None:
+            self._control.abort()
+        self._open_control()
 
     def _control_data(self, data: bytes) -> None:
         try:
@@ -544,16 +606,19 @@ class PeerClient:
     def _send_server_tcp(self, message: Message) -> None:
         if self._control is None:
             raise ReproError("TCP control connection not open")
-        self._control.send(protocol.frame(message, self.obfuscate))
+        try:
+            self._control.send(protocol.frame(message, self.obfuscate))
+        except ConnectionError_:
+            # The control connection died under us (server kill mid-exchange).
+            # Swallow rather than unwind the caller: pending requests have
+            # their own deadlines, and failover/reconnect machinery restores
+            # the channel.
+            self.metrics.counter("client.control_send_failures").inc()
 
     def _consume_control_connection(self) -> None:
         """§4.5: the sequential procedure consumes the connection to S; we
         reset it and immediately re-register on a fresh connection."""
-        self.control_reconnects += 1
-        self.tcp_registered = False
-        if self._control is not None:
-            self._control.abort()
-        self._open_control()
+        self._reopen_control()
 
     def connect_tcp(
         self,
@@ -579,6 +644,21 @@ class PeerClient:
                 transport=TRANSPORT_TCP,
             )
         )
+        # Parity with connect_udp: if S never answers (down, unreachable,
+        # killed mid-request) the attempt must still fail in bounded time.
+        budget = (config or self.tcp_punch_config).timeout
+        self.scheduler.call_later(budget, self._tcp_connect_deadline, peer_id)
+
+    def _tcp_connect_deadline(self, peer_id: int) -> None:
+        pending = self._pending_tcp.pop(peer_id, None)
+        if pending is None:
+            return  # endpoints arrived (or the request already failed)
+        _, on_failure, _cfg = pending
+        span = self._connect_spans.pop((TRANSPORT_TCP, peer_id), None)
+        if span is not None:
+            span.finish(OUTCOME_ERROR, reason="endpoint exchange timed out")
+        if on_failure is not None:
+            on_failure(TimeoutError_(f"endpoint exchange with peer {peer_id} timed out"))
 
     def connect_tcp_sequential(
         self,
@@ -653,6 +733,8 @@ class PeerClient:
                 requester.handle_ready(message)
         elif isinstance(message, RelayPayload):
             self._route_relay(message, TRANSPORT_TCP)
+        elif isinstance(message, RelayError):
+            self._relay_send_failed(message, TRANSPORT_TCP)
         elif isinstance(message, RendezvousError):
             self._tcp_request_failed(message)
 
@@ -712,15 +794,48 @@ class PeerClient:
     # TURN: relayed peer-to-peer channels (§2.2's TURN design)
     # =====================================================================
 
-    def enable_turn(self, turn_server: Endpoint, refresh_interval: Optional[float] = None) -> None:
+    def enable_turn(
+        self,
+        turn_server: Endpoint,
+        refresh_interval: Optional[float] = None,
+        fallback_servers: Sequence[Endpoint] = (),
+    ) -> None:
         """Attach a TURN client so :meth:`connect_via_turn` (and incoming
-        TURN exchanges) can build relayed channels."""
+        TURN exchanges) can build relayed channels.
+
+        With *fallback_servers* the client re-allocates on the next server
+        when refreshes to the current one decay; either way, a relay
+        endpoint that *moves* (server restart rebuilt the allocation on a
+        new port) is re-advertised to every active pair session.
+        """
         if self.turn is not None:
             return
         self.turn = TurnClient(
-            self.host, turn_server, self.client_id, refresh_interval=refresh_interval
+            self.host,
+            turn_server,
+            self.client_id,
+            refresh_interval=refresh_interval,
+            fallback_servers=fallback_servers,
         )
         self.turn.on_data = self._on_turn_data
+        self.turn.on_relocated = self._turn_relocated
+
+    def _turn_relocated(self, new_relay: Endpoint) -> None:
+        """Our relayed endpoint moved: re-advertise it to every live pair
+        (via S) and re-run each pair's opener handshake so permissions are
+        installed from the new allocation."""
+        for peer_id, pair in list(self.turn_pairs.items()):
+            if pair.closed:
+                continue
+            self._send_server_udp(
+                protocol.TurnExchange(
+                    sender=self.client_id,
+                    target=peer_id,
+                    relay_ep=new_relay,
+                    nonce=pair.nonce,
+                )
+            )
+            pair.resume()
 
     def connect_via_turn(
         self,
@@ -791,7 +906,21 @@ class PeerClient:
         # deliver the session once the openers cross.
         existing = self.turn_pairs.get(peer_id)
         if existing is not None and existing.nonce == message.nonce:
-            return  # duplicate exchange
+            if not existing.closed and existing.peer_relay != message.relay_ep:
+                # The peer's relay moved (its TURN server restarted or it
+                # failed over): adopt the new endpoint, re-advertise ours,
+                # and re-run the opener handshake.
+                existing.resume(peer_relay=message.relay_ep)
+                if self.turn.relay_endpoint is not None:
+                    self._send_server_udp(
+                        protocol.TurnExchange(
+                            sender=self.client_id,
+                            target=peer_id,
+                            relay_ep=self.turn.relay_endpoint,
+                            nonce=message.nonce,
+                        )
+                    )
+            return  # duplicate (or now-refreshed) exchange
 
         def respond(_relay_ep: Endpoint) -> None:
             pair = TurnPairSession(

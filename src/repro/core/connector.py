@@ -25,6 +25,7 @@ from repro.core.tcp_punch import TcpStream
 from repro.core.udp_punch import UdpSession
 from repro.core.protocol import TRANSPORT_TCP, TRANSPORT_UDP
 from repro.obs.spans import OUTCOME_ERROR, OUTCOME_FALLBACK, OUTCOME_OK
+from repro.util.errors import ReproError
 
 Channel = Union[UdpSession, TcpStream, RelaySession]
 ResultHandler = Callable[["ConnectResult"], None]
@@ -49,11 +50,18 @@ class RetryPolicy:
         max_retries: ladder re-runs before giving up (0 disables recovery).
         backoff: delay before the first re-run; doubles per recovery.
         backoff_cap: upper bound on the re-run delay.
+        tcp_keepalive_interval: if > 0, arm in-band keepalive probes on a
+            winning :class:`TcpStream` so an idle punched stream detects a
+            dead peer (UDP sessions carry their own keepalive config).
+        tcp_broken_after_missed: consecutive silent intervals before a probed
+            TCP stream is declared broken.
     """
 
     max_retries: int = 2
     backoff: float = 0.5
     backoff_cap: float = 8.0
+    tcp_keepalive_interval: float = 0.0
+    tcp_broken_after_missed: int = 3
 
 
 @dataclass
@@ -198,27 +206,33 @@ class P2PConnector:
                     span.finish(OUTCOME_ERROR)
                 on_result(result)
 
-        if strategy == STRATEGY_PUNCH:
-            self._try_punch(peer_id, succeed, fail)
-        elif strategy == STRATEGY_TURN:
-            self.client.connect_via_turn(
-                peer_id,
-                on_session=lambda s: succeed(s, f"TURN pair via {s.peer_relay}"),
-                on_failure=fail,
-                timeout=self.phase_timeout,
-            )
-        elif strategy == STRATEGY_REVERSAL:
-            self.client.request_reversal(
-                peer_id,
-                on_stream=lambda s: succeed(s, f"reverse stream via {s.remote}"),
-                on_failure=fail,
-                timeout=self.phase_timeout,
-            )
-        else:
-            # §2.2: relaying needs no handshake — it rides the existing
-            # client/server connections, so it succeeds immediately.
-            relay = self.client.open_relay(peer_id, self.transport)
-            succeed(relay, "relayed via S")
+        # A strategy can fail synchronously (e.g. the client is momentarily
+        # unregistered mid-failover): route the error through fail() so the
+        # ladder keeps descending and every connect attempt terminates.
+        try:
+            if strategy == STRATEGY_PUNCH:
+                self._try_punch(peer_id, succeed, fail)
+            elif strategy == STRATEGY_TURN:
+                self.client.connect_via_turn(
+                    peer_id,
+                    on_session=lambda s: succeed(s, f"TURN pair via {s.peer_relay}"),
+                    on_failure=fail,
+                    timeout=self.phase_timeout,
+                )
+            elif strategy == STRATEGY_REVERSAL:
+                self.client.request_reversal(
+                    peer_id,
+                    on_stream=lambda s: succeed(s, f"reverse stream via {s.remote}"),
+                    on_failure=fail,
+                    timeout=self.phase_timeout,
+                )
+            else:
+                # §2.2: relaying needs no handshake — it rides the existing
+                # client/server connections, so it succeeds immediately.
+                relay = self.client.open_relay(peer_id, self.transport)
+                succeed(relay, "relayed via S")
+        except ReproError as error:
+            fail(error)
 
     # -- recovery (RetryPolicy) ----------------------------------------------------
 
@@ -229,11 +243,28 @@ class P2PConnector:
         policy = self.retry_policy
         if policy is None or recovery >= policy.max_retries:
             return
+        tripped = {"fired": False}
+
+        def trip(*_args) -> None:
+            if tripped["fired"]:
+                return
+            tripped["fired"] = True
+            self._channel_broken(peer_id, on_result, recovery)
+
         if isinstance(channel, UdpSession):
-            channel.on_broken = lambda: self._channel_broken(peer_id, on_result, recovery)
+            channel.on_broken = trip
         elif isinstance(channel, TcpStream):
-            channel.on_close = lambda: self._channel_broken(peer_id, on_result, recovery)
-        # RelaySession rides the always-on connection to S — nothing to watch.
+            channel.on_close = trip
+            if policy.tcp_keepalive_interval > 0:
+                channel.start_keepalives(
+                    policy.tcp_keepalive_interval, policy.tcp_broken_after_missed
+                )
+        elif isinstance(channel, RelaySession):
+            # Relaying rides the client/server connections, so the only
+            # breakage signal is S bouncing a payload (peer gone / failover
+            # lag): treat that like any other broken channel.  The guard
+            # matters here — S may bounce several queued payloads at once.
+            channel.on_error = trip
 
     def _channel_broken(self, peer_id: int, on_result: ResultHandler, recovery: int) -> None:
         policy = self.retry_policy

@@ -225,6 +225,23 @@ class Keepalive(Message):
     client_id: int
 
 
+@_register
+@dataclass
+class KeepaliveAck(Message):
+    """S -> client: the keepalive landed on a live registration.
+
+    The ack is what makes S's liveness *observable*: a client that stops
+    receiving acks can distinguish "S is dead / unreachable" from "nothing
+    to say" and fail over to the next rendezvous server in its list (the
+    §2.2 guarantee — "relaying always works as long as both clients can
+    connect to the server" — only holds if the clients notice when they
+    can't)."""
+
+    TYPE: ClassVar[int] = 0x07
+    _layout: ClassVar = (("client_id", "u32"),)
+    client_id: int
+
+
 # -- punching ----------------------------------------------------------------------
 
 
@@ -336,6 +353,23 @@ class StreamData(Message):
     payload: bytes = b""
 
 
+@_register
+@dataclass
+class StreamKeepalive(Message):
+    """Peer -> peer: in-band liveness probe on an established TCP stream.
+
+    TCP's own retransmission machinery only detects a dead peer when there
+    is data in flight; an *idle* punched stream whose NAT mapping expired
+    blackholes silently.  These probes give the TCP path the same liveness
+    ladder UDP sessions have (§3.6): probe when idle, declare the stream
+    broken after ``broken_after_missed`` silent intervals — the probe's
+    retransmission failure then surfaces via the RTO machinery too."""
+
+    TYPE: ClassVar[int] = 0x24
+    _layout: ClassVar = (("sender", "u32"),)
+    sender: int
+
+
 # -- relaying (§2.2) ------------------------------------------------------------------
 
 
@@ -356,6 +390,26 @@ class RelayPayload(Message):
     sender: int
     target: int
     payload: bytes = b""
+
+
+@_register
+@dataclass
+class RelayError(Message):
+    """S -> client: a relayed payload could not be delivered.
+
+    Sent back to the *sender* of a :class:`RelayPayload` whose target has no
+    live registration (e.g. S restarted and the peer has not re-registered
+    yet).  Without it the relay path — the paper's "always works" fallback —
+    blackholes silently; with it the sending :class:`RelaySession` can
+    surface the failure (``relay.send_failures`` metric + ``on_error``)."""
+
+    TYPE: ClassVar[int] = 0x31
+    _layout: ClassVar = (("sender", "u32"), ("target", "u32"), ("code", "u8"))
+    sender: int
+    target: int
+    code: int = 0
+
+    TARGET_UNREACHABLE: ClassVar[int] = 1
 
 
 # -- TURN-style relaying (§2.2 cites TURN as the secure relay design) ---------------------

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.core.protocol import RelayPayload, TRANSPORT_UDP
+from repro.core.protocol import RelayError, RelayPayload, TRANSPORT_UDP
+from repro.util.errors import ReproError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.client import PeerClient
@@ -26,6 +27,10 @@ class RelaySession:
         transport: TRANSPORT_UDP or TRANSPORT_TCP — which registration (and
             which server channel) carries the relayed payloads.
         on_data: application callback for relayed payloads.
+        on_error: application callback ``(ReproError)`` fired when S reports
+            a payload could not be delivered (the peer's registration is
+            gone) — the §2.2 "always works" promise being broken audibly
+            instead of silently.
     """
 
     def __init__(self, client: "PeerClient", peer_id: int, transport: int = TRANSPORT_UDP) -> None:
@@ -33,12 +38,15 @@ class RelaySession:
         self.peer_id = peer_id
         self.transport = transport
         self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_error: Optional[Callable[[ReproError], None]] = None
         self.closed = False
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.send_failures = 0
         client.metrics.counter("relay.sessions_opened").inc()
         self._sent_counter = client.metrics.counter("relay.bytes_sent")
         self._received_counter = client.metrics.counter("relay.bytes_received")
+        self._failure_counter = client.metrics.counter("relay.send_failures")
 
     def send(self, payload: bytes) -> None:
         """Send *payload* to the peer via S."""
@@ -61,6 +69,18 @@ class RelaySession:
             return
         self.closed = True
         self.client._relay_closed(self)
+
+    def _send_failed(self, error: RelayError) -> None:
+        """S bounced one of our payloads: the target is unreachable."""
+        self.send_failures += 1
+        self._failure_counter.inc()
+        if self.on_error is not None:
+            self.on_error(
+                ReproError(
+                    f"relay to peer {error.target} failed: target unreachable "
+                    f"(code {error.code})"
+                )
+            )
 
     def _handle(self, message: RelayPayload) -> None:
         self.bytes_received += len(message.payload)

@@ -22,10 +22,12 @@ from repro.core.protocol import (
     ConnectRequest,
     FrameBuffer,
     Keepalive,
+    KeepaliveAck,
     Message,
     PeerEndpoints,
     Register,
     Registered,
+    RelayError,
     RelayPayload,
     RendezvousError,
     ReverseConnect,
@@ -133,13 +135,53 @@ class RendezvousServer:
         self.connect_requests = 0
         self.relayed_messages = 0
         self.relayed_bytes = 0
+        self.relay_send_failures = 0
         self.errors_sent = 0
         self.restarts = 0
         self.endpoint_moves = 0
+        self.adopted_registrations = 0
+        #: True while the server is killed (see :meth:`stop`).
+        self.stopped = False
 
     @property
     def scheduler(self):
         return self.host.scheduler
+
+    def stop(self) -> None:
+        """Kill the server: release its sockets and drop all state.
+
+        Unlike :meth:`restart` (amnesia, but still answering), a stopped
+        server is *gone*: UDP keepalives fall on an unbound port (no ack, no
+        error — exactly what a dead host looks like) and TCP connection
+        attempts draw an RST.  Clients with a server list detect the decay
+        and fail over; see :mod:`repro.core.failover`.
+        """
+        if self.stopped:
+            return
+        self.stopped = True
+        self.udp_clients.clear()
+        self.tcp_clients.clear()
+        self._pair_nonces.clear()
+        conns, self._tcp_conns = self._tcp_conns, {}
+        for control in conns.values():
+            control.conn.abort()
+        self._udp.close()
+        self._listener.close()
+
+    def start(self) -> None:
+        """Revive a stopped server on the same well-known endpoint.
+
+        State is not restored — a revived server has the same amnesia as a
+        restarted one (use :meth:`adopt_registrations` for warm handover).
+        """
+        if not self.stopped:
+            return
+        self.stopped = False
+        self.restarts += 1
+        stack = self.host.stack  # type: ignore[attr-defined]
+        self._udp = stack.udp.socket(self.port)
+        self._udp.on_datagram = self._on_udp
+        self._listener = stack.tcp.listen(self.port, on_accept=self._on_accept, reuse=True)
 
     def restart(self) -> None:
         """Simulate a server crash/restart: all soft state is lost.
@@ -160,6 +202,42 @@ class RendezvousServer:
     def registration(self, client_id: int, transport: int = TRANSPORT_UDP) -> Optional[Registration]:
         table = self.udp_clients if transport == TRANSPORT_UDP else self.tcp_clients
         return table.get(client_id)
+
+    # -- failover hooks (registration handover) ---------------------------------
+
+    def export_registrations(self) -> Dict[int, Registration]:
+        """Snapshot the UDP registration table for handover to a successor."""
+        return {
+            cid: Registration(
+                client_id=reg.client_id,
+                public_ep=reg.public_ep,
+                private_ep=reg.private_ep,
+                registered_at=reg.registered_at,
+                last_seen=reg.last_seen,
+                keepalives=reg.keepalives,
+            )
+            for cid, reg in self.udp_clients.items()
+        }
+
+    def adopt_registrations(self, registrations: Dict[int, Registration]) -> None:
+        """Warm-failover import: accept a predecessor's UDP registrations.
+
+        The adopted public endpoints stay valid only while the clients' NAT
+        mappings toward the *old* server still exist and the NATs map
+        endpoint-independently — exactly the §3 assumption punching relies
+        on.  Clients that fail over re-register anyway; adoption just closes
+        the window where relayed payloads and connect requests would fail.
+        Registrations the successor already holds (the client re-registered
+        here first) are *not* overwritten — its own observation is fresher.
+        """
+        for cid, reg in registrations.items():
+            if cid not in self.udp_clients:
+                self.udp_clients[cid] = reg
+                self.adopted_registrations += 1
+
+    def handover_to(self, successor: "RendezvousServer") -> None:
+        """Push this server's registrations to *successor* (planned failover)."""
+        successor.adopt_registrations(self.export_registrations())
 
     # -- UDP side --------------------------------------------------------------
 
@@ -200,6 +278,7 @@ class RendezvousServer:
             elif reg.public_ep == src:
                 reg.last_seen = now
                 reg.keepalives += 1
+                self._send_udp(KeepaliveAck(client_id=message.client_id), src)
             else:
                 # Same client, new observed endpoint: its NAT rebooted or the
                 # old mapping expired and the keepalive cut a fresh one.  Track
@@ -209,10 +288,11 @@ class RendezvousServer:
                 reg.last_seen = now
                 reg.keepalives += 1
                 self.endpoint_moves += 1
+                self._send_udp(KeepaliveAck(client_id=message.client_id), src)
         elif isinstance(message, ConnectRequest):
             self._handle_connect(message, reply_to=src)
         elif isinstance(message, RelayPayload):
-            self._handle_relay(message, transport=TRANSPORT_UDP)
+            self._handle_relay(message, transport=TRANSPORT_UDP, reply_to=src)
         elif isinstance(message, TurnExchange):
             target = self.udp_clients.get(message.target)
             if target is not None:
@@ -252,7 +332,7 @@ class RendezvousServer:
         elif isinstance(message, ConnectRequest):
             self._handle_connect(message, control=control)
         elif isinstance(message, RelayPayload):
-            self._handle_relay(message, transport=TRANSPORT_TCP)
+            self._handle_relay(message, transport=TRANSPORT_TCP, control=control)
         elif isinstance(message, ReverseRequest):
             self._handle_reverse(message, control=control)
         elif isinstance(message, SeqRequest):
@@ -356,11 +436,33 @@ class RendezvousServer:
         if conn is not None:
             conn.send(message)
 
-    def _handle_relay(self, message: RelayPayload, transport: int) -> None:
-        """§2.2: forward the payload to the target over its own channel."""
+    def _handle_relay(
+        self,
+        message: RelayPayload,
+        transport: int,
+        reply_to: Optional[Endpoint] = None,
+        control: Optional[_ControlConnection] = None,
+    ) -> None:
+        """§2.2: forward the payload to the target over its own channel.
+
+        An unknown target (never registered, or lost in a restart) is
+        reported back to the sender instead of silently dropped, so the
+        sending :class:`~repro.core.relay.RelaySession` can surface the
+        failure and the application can react.
+        """
         table = self.udp_clients if transport == TRANSPORT_UDP else self.tcp_clients
         target = table.get(message.target)
         if target is None:
+            self.relay_send_failures += 1
+            error = RelayError(
+                sender=message.sender,
+                target=message.target,
+                code=RelayError.TARGET_UNREACHABLE,
+            )
+            if control is not None:
+                control.send(error)
+            elif reply_to is not None:
+                self._send_udp(error, reply_to)
             return
         self.relayed_messages += 1
         self.relayed_bytes += len(message.payload)

@@ -24,7 +24,13 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core import protocol
 from repro.core.auth import message_is_from_peer
-from repro.core.protocol import FrameBuffer, Hello, StreamData, StreamSelect
+from repro.core.protocol import (
+    FrameBuffer,
+    Hello,
+    StreamData,
+    StreamKeepalive,
+    StreamSelect,
+)
 from repro.netsim.addresses import Endpoint
 from repro.netsim.clock import Timer
 from repro.obs.spans import OUTCOME_LOCKED, OUTCOME_TIMEOUT, Span
@@ -59,6 +65,10 @@ class TcpPunchConfig:
 StreamHandler = Callable[["TcpStream"], None]
 FailureHandler = Callable[[Exception], None]
 
+#: A stream whose own probing is off still answers incoming probes, but at
+#: most once per this window (prevents echo storms between armed peers).
+STREAM_ECHO_SUPPRESS_SECONDS = 0.5
+
 
 class TcpStream:
     """A framed, authenticated message stream over one TCP connection.
@@ -79,14 +89,23 @@ class TcpStream:
         self.nonce: Optional[int] = None
         self.selected = False
         self.closed = False
+        self.broken = False
         self._on_message: Optional[Callable[[protocol.Message], None]] = None
         self._on_data: Optional[Callable[[bytes], None]] = None
         self._pending_payloads: List[bytes] = []
         self.on_close: Optional[Callable[[], None]] = None
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.keepalives_sent = 0
+        self._keepalive_interval: Optional[float] = None
+        self._broken_after_missed = 3
+        self._keepalive_timer: Optional[Timer] = None
+        now = client.scheduler.now
+        self._last_inbound = now
+        self._last_outbound = now
         conn.on_data = self._feed
         conn.on_close = self._closed_by_peer
+        conn.on_error = self._conn_error
 
     # -- application API --------------------------------------------------------
 
@@ -120,17 +139,81 @@ class TcpStream:
         if self.closed:
             return
         self.closed = True
+        self._stop_keepalives()
         self.conn.close()
 
     def abort(self) -> None:
         if self.closed:
             return
         self.closed = True
+        self._stop_keepalives()
         self.conn.abort()
+
+    # -- liveness (§3.6 ladder, TCP flavour) ------------------------------------
+
+    def start_keepalives(self, interval: float, broken_after_missed: int = 3) -> None:
+        """Probe the peer with in-band :class:`StreamKeepalive` frames.
+
+        TCP's own retransmission machinery only detects a dead peer while we
+        have data in flight; an idle punched stream whose peer silently died
+        (or whose NAT mapping expired, §5.1) blackholes forever.  Probing in
+        band gives idle streams the same liveness ladder punched UDP sessions
+        have: after ``interval * broken_after_missed`` seconds of silence the
+        stream is marked broken and torn down, firing ``on_close`` so the
+        connector can re-run its ladder.
+        """
+        if self.closed:
+            return
+        self._keepalive_interval = interval
+        self._broken_after_missed = broken_after_missed
+        now = self.client.scheduler.now
+        self._last_inbound = now
+        self._schedule_keepalive()
+
+    def _schedule_keepalive(self) -> None:
+        assert self._keepalive_interval is not None
+        self._keepalive_timer = self.client.scheduler.call_later(
+            self._keepalive_interval, self._keepalive_tick
+        )
+
+    def _stop_keepalives(self) -> None:
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+            self._keepalive_timer = None
+        self._keepalive_interval = None
+
+    def _keepalive_tick(self) -> None:
+        if self.closed or self._keepalive_interval is None:
+            return
+        now = self.client.scheduler.now
+        silent_for = now - self._last_inbound
+        if silent_for > self._keepalive_interval * self._broken_after_missed:
+            self._mark_broken()
+            return
+        if now - self._last_outbound >= self._keepalive_interval:
+            self._send_keepalive()
+        self._schedule_keepalive()
+
+    def _send_keepalive(self) -> None:
+        self.keepalives_sent += 1
+        self.client.metrics.counter("session.tcp.keepalives_sent").inc()
+        self._send_message(StreamKeepalive(sender=self.client.client_id))
+
+    def _mark_broken(self) -> None:
+        """Too long without a peer frame: declare the stream dead.
+
+        ``abort`` resets the connection, which fires ``on_close`` (via the
+        connection teardown) — that is the signal the connector's channel
+        watch re-runs the ladder on.
+        """
+        self.broken = True
+        self.client.metrics.counter("session.tcp.broken").inc()
+        self.abort()
 
     # -- internals ----------------------------------------------------------------
 
     def _send_message(self, message: protocol.Message) -> None:
+        self._last_outbound = self.client.scheduler.now
         self.conn.send(protocol.frame(message, self.client.obfuscate))
 
     def send_hello(self, peer_id: int, nonce: int) -> None:
@@ -141,6 +224,7 @@ class TcpStream:
         )
 
     def _feed(self, data: bytes) -> None:
+        self._last_inbound = self.client.scheduler.now
         try:
             messages = self.buffer.feed(data)
         except ProtocolError:
@@ -151,6 +235,23 @@ class TcpStream:
             self._dispatch(message)
 
     def _dispatch(self, message: protocol.Message) -> None:
+        if isinstance(message, StreamKeepalive):
+            # Echo so the prober sees traffic — even if our own probing is
+            # off, the peer's liveness ladder depends on the answer.  The
+            # quiet-window suppression keeps two armed sides from ping-ponging
+            # at network speed.
+            window = (
+                self._keepalive_interval / 2
+                if self._keepalive_interval is not None
+                else STREAM_ECHO_SUPPRESS_SECONDS
+            )
+            if (
+                self.selected
+                and not self.closed
+                and self.client.scheduler.now - self._last_outbound >= window
+            ):
+                self._send_keepalive()
+            return
         if isinstance(message, StreamData) and self.selected:
             self.bytes_received += len(message.payload)
             if self._on_data is not None:
@@ -163,6 +264,18 @@ class TcpStream:
 
     def _closed_by_peer(self) -> None:
         self.closed = True
+        self._stop_keepalives()
+        if self.on_close is not None:
+            self.on_close()
+
+    def _conn_error(self, error: ConnectionError_) -> None:
+        """The transport declared the peer dead (RST, or data retransmission
+        exhausted its timeout).  Teardown already happened without a close
+        notification, so surface it as one: the stream is gone either way."""
+        self.closed = True
+        self.broken = True
+        self._stop_keepalives()
+        self.client.metrics.counter("session.tcp.dead_peer", reason=error.reason).inc()
         if self.on_close is not None:
             self.on_close()
 
@@ -266,9 +379,22 @@ class TcpHolePuncher:
             return
         stream = TcpStream(self.client, conn, origin="connect")
         stream._on_message = lambda m, s=stream: self._stream_message(s, m)
+        # Until selection, a reset on an established attempt still retries the
+        # endpoint (§4.2 step 4); the stream's own error handler takes over in
+        # _deliver.
+        conn.on_error = lambda err, ep=conn.remote, s=stream: self._established_error(
+            s, ep, err
+        )
         self.streams.append(stream)
         stream.send_hello(self.peer_id, self.nonce)
         self._arm_auth_timeout(stream)
+
+    def _established_error(self, stream: TcpStream, endpoint: Endpoint, error: ConnectionError_) -> None:
+        stream.closed = True
+        stream.broken = True
+        stream._stop_keepalives()
+        if not self.finished:
+            self._on_connect_error(endpoint, error)
 
     def _on_connect_error(self, endpoint: Endpoint, error: ConnectionError_) -> None:
         if self.finished:
@@ -378,6 +504,7 @@ class TcpHolePuncher:
         self.elapsed = self.client.scheduler.now - self.started_at
         self.winner = stream
         stream.selected = True
+        stream.conn.on_error = stream._conn_error
         metrics = self.client.metrics
         metrics.counter("punch.tcp.succeeded").inc()
         metrics.counter("punch.tcp.stream_origin", origin=stream.origin).inc()

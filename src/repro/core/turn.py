@@ -17,16 +17,21 @@ use.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import protocol
 from repro.core.protocol import TurnAllocate, TurnAllocated, TurnData, TurnSend
 from repro.netsim.addresses import Endpoint
 from repro.netsim.clock import Timer
 from repro.netsim.node import Host
+from repro.util.errors import ReproError
 
 DEFAULT_TURN_PORT = 3478
 DEFAULT_LIFETIME = 600.0
+
+#: Consecutive unanswered refreshes after which a TurnClient declares its
+#: server dead and re-allocates (on the next server if it has fallbacks).
+DEFAULT_REFRESH_MISSES = 3
 
 
 class _Allocation:
@@ -103,15 +108,51 @@ class TurnServer:
         self._stack = host.stack  # type: ignore[attr-defined]
         self._control = self._stack.udp.socket(port)
         self._control.on_datagram = self._on_control
+        self.port = port
         self.endpoint = Endpoint(host.primary_ip, port)
         self.allocations: Dict[Endpoint, _Allocation] = {}
         self.rejected_inbound = 0
         self.allocations_created = 0
         self.allocations_expired = 0
+        self.restarts = 0
+        self.stopped = False
 
     @property
     def scheduler(self):
         return self.host.scheduler
+
+    def restart(self) -> None:
+        """Crash/restart: every allocation (and its relay port) is lost.
+
+        The control socket stays bound, so refreshes from existing clients
+        are answered — but with *fresh* allocations on *new* relay ports.
+        A client that does not notice the relay-endpoint change keeps
+        advertising a dead one; see ``TurnClient.on_relocated``.
+        """
+        self.restarts += 1
+        allocations, self.allocations = self.allocations, {}
+        for allocation in allocations.values():
+            allocation.close()
+
+    def stop(self) -> None:
+        """Kill the server: allocations die and the control port unbinds,
+        so refreshes fall on a dead endpoint (no answer at all)."""
+        if self.stopped:
+            return
+        self.stopped = True
+        allocations, self.allocations = self.allocations, {}
+        for allocation in allocations.values():
+            allocation.close()
+        self._control.close()
+
+    def start(self) -> None:
+        """Revive a stopped server (same endpoint, no state)."""
+        if not self.stopped:
+            return
+        self.stopped = False
+        self.restarts += 1
+        self._control = self._stack.udp.socket(self.port)
+        self._control.on_datagram = self._on_control
 
     def _on_control(self, data: bytes, src: Endpoint) -> None:
         message = protocol.try_decode(data)
@@ -163,24 +204,47 @@ class TurnClient:
     """
 
     def __init__(self, host: Host, server: Endpoint, client_id: int,
-                 refresh_interval: Optional[float] = None) -> None:
+                 refresh_interval: Optional[float] = None,
+                 fallback_servers: Sequence[Endpoint] = (),
+                 dead_after_missed: int = DEFAULT_REFRESH_MISSES) -> None:
         self.host = host
-        self.server = server
+        self.servers: List[Endpoint] = [server, *fallback_servers]
+        self.server_index = 0
         self.client_id = client_id
         self._stack = host.stack  # type: ignore[attr-defined]
         self.socket = self._stack.udp.socket(0)
         self.socket.on_datagram = self._on_datagram
         self.relay_endpoint: Optional[Endpoint] = None
         self.on_data: Optional[Callable[[Endpoint, bytes], None]] = None
+        #: Fired when a re-allocation came back on a *different* relay
+        #: endpoint (server restarted, or we failed over to a fallback):
+        #: whoever advertised the old endpoint must re-advertise.
+        self.on_relocated: Optional[Callable[[Endpoint], None]] = None
+        #: Fired when ``dead_after_missed`` refreshes went unanswered.
+        self.on_failure: Optional[Callable[[Exception], None]] = None
         self._on_allocated: Optional[Callable[[Endpoint], None]] = None
         self._refresh_interval = refresh_interval
         self._refresh_timer: Optional[Timer] = None
+        self.dead_after_missed = dead_after_missed
+        self._refresh_misses = 0
+        self.failovers = 0
+        self.relocations = 0
         self.bytes_sent = 0
         self.bytes_received = 0
+        self._metrics = getattr(host, "metrics", None)
+
+    @property
+    def server(self) -> Endpoint:
+        """The TURN server currently in use."""
+        return self.servers[self.server_index]
 
     @property
     def scheduler(self):
         return self.host.scheduler
+
+    def _count(self, name: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(name).inc()
 
     def allocate(self, on_allocated: Optional[Callable[[Endpoint], None]] = None) -> None:
         """Request (or refresh) the relayed endpoint."""
@@ -197,6 +261,30 @@ class TurnClient:
         )
 
     def _refresh(self) -> None:
+        # Refreshing is not fire-and-forget: each TurnAllocate should draw a
+        # TurnAllocated back.  Count the ones that did not — a dead server
+        # would otherwise be refreshed forever while our allocation is gone.
+        self._refresh_misses += 1
+        if self._refresh_misses > self.dead_after_missed:
+            self._server_dead()
+            return
+        self.socket.sendto(
+            protocol.encode(TurnAllocate(client_id=self.client_id)), self.server
+        )
+        self._schedule_refresh()
+
+    def _server_dead(self) -> None:
+        """Refreshes decayed: rotate to the next server (wrapping — a single
+        server is simply re-tried, which covers revives) and re-allocate."""
+        self.failovers += 1
+        self._count("turn.failovers")
+        dead = self.server
+        self.server_index = (self.server_index + 1) % len(self.servers)
+        self._refresh_misses = 0
+        if self.on_failure is not None:
+            self.on_failure(
+                ReproError(f"TURN server {dead} stopped answering refreshes")
+            )
         self.socket.sendto(
             protocol.encode(TurnAllocate(client_id=self.client_id)), self.server
         )
@@ -217,10 +305,23 @@ class TurnClient:
     def _on_datagram(self, data: bytes, src: Endpoint) -> None:
         message = protocol.try_decode(data)
         if isinstance(message, TurnAllocated) and message.client_id == self.client_id:
+            self._refresh_misses = 0
+            moved = (
+                self.relay_endpoint is not None
+                and self.relay_endpoint != message.relay_ep
+            )
             self.relay_endpoint = message.relay_ep
             callback, self._on_allocated = self._on_allocated, None
             if callback is not None:
                 callback(message.relay_ep)
+            if moved:
+                # The server rebuilt our allocation on a new relay port
+                # (restart) or we failed over: silently keeping the old
+                # advertised endpoint would blackhole every pair session.
+                self.relocations += 1
+                self._count("turn.relocations")
+                if self.on_relocated is not None:
+                    self.on_relocated(message.relay_ep)
         elif isinstance(message, TurnData):
             self.bytes_received += len(message.payload)
             if self.on_data is not None:
@@ -259,19 +360,29 @@ class TurnPairSession:
         self.closed = False
         self.on_data: Optional[Callable[[bytes], None]] = None
         self.on_established: Optional[Callable[["TurnPairSession"], None]] = None
+        #: Fired when a resumed session re-establishes (relay moved and the
+        #: opener handshake completed again); distinct from on_established,
+        #: which fires only for the first establishment.
+        self.on_resumed: Optional[Callable[["TurnPairSession"], None]] = None
         self.bytes_sent = 0
         self.bytes_received = 0
+        self.resumes = 0
+        self._established_ever = False
         self._opener_interval = opener_interval
+        self._timeout = timeout
         self._deadline = client.scheduler.now + timeout
-        self._send_opener()
+        self._opener_epoch = 0
+        self._send_opener(self._opener_epoch)
 
     @property
     def alive(self) -> bool:
         return self.established and not self.closed
 
-    def _send_opener(self) -> None:
+    def _send_opener(self, epoch: int) -> None:
         """Keepalive pings install the TURN permission for the peer's relay
         and double as the establishment handshake."""
+        if epoch != self._opener_epoch:
+            return  # superseded by a resume()
         if self.closed or self.established:
             return
         if self.client.scheduler.now > self._deadline:
@@ -286,7 +397,7 @@ class TurnPairSession:
                 )
             ),
         )
-        self.client.scheduler.call_later(self._opener_interval, self._send_opener)
+        self.client.scheduler.call_later(self._opener_interval, self._send_opener, epoch)
 
     def send(self, payload: bytes) -> None:
         """Send application data via both relays."""
@@ -307,6 +418,26 @@ class TurnPairSession:
 
     def close(self) -> None:
         self.closed = True
+
+    def resume(self, peer_relay: Optional[Endpoint] = None) -> None:
+        """Re-run the opener handshake after a relay moved.
+
+        Called with the peer's *new* relay endpoint when it re-advertised
+        (its TURN server restarted / failed over), or with none when *our*
+        relay moved and the peer needs fresh permissions installed from the
+        new endpoint.  The session drops back to not-established until the
+        openers cross again; application ``send`` keeps working (toward the
+        current ``peer_relay``) throughout.
+        """
+        if self.closed:
+            return
+        if peer_relay is not None:
+            self.peer_relay = peer_relay
+        self.resumes += 1
+        self.established = False
+        self._deadline = self.client.scheduler.now + self._timeout
+        self._opener_epoch += 1
+        self._send_opener(self._opener_epoch)
 
     def _handle(self, message) -> None:
         """A decoded message arrived at our relay from the peer's relay."""
@@ -329,8 +460,31 @@ class TurnPairSession:
                     )
                 ),
             )
-            if self.on_established is not None:
-                self.on_established(self)
+            self._last_answer = self.client.scheduler.now
+            if not self._established_ever:
+                self._established_ever = True
+                if self.on_established is not None:
+                    self.on_established(self)
+            elif self.on_resumed is not None:
+                self.on_resumed(self)
+        elif isinstance(message, self._p.SessionKeepalive):
+            # The peer is (re-)opening while we are already established — it
+            # resumed after a relay move and needs an answer to cross with.
+            # Suppress echoes we sent within half an opener interval so two
+            # established sides do not ping-pong forever.
+            now = self.client.scheduler.now
+            if now - self._last_answer >= self._opener_interval / 2:
+                self._last_answer = now
+                self.turn.send(
+                    self.peer_relay,
+                    self._p.encode(
+                        self._p.SessionKeepalive(
+                            sender=self.client.client_id,
+                            receiver=self.peer_id,
+                            nonce=self.nonce,
+                        )
+                    ),
+                )
         if isinstance(message, self._p.SessionData):
             self.bytes_received += len(message.payload)
             if self.on_data is not None:

@@ -6,8 +6,10 @@ public/private realms (:mod:`repro.netsim.addresses`), a packet model covering
 UDP, TCP, and ICMP (:mod:`repro.netsim.packet`), links with latency/jitter/loss
 (:mod:`repro.netsim.link`), hosts and routers with longest-prefix-match
 forwarding (:mod:`repro.netsim.node`, :mod:`repro.netsim.routing`), a
-topology container (:mod:`repro.netsim.network`), and deterministic fault
-injection (:mod:`repro.netsim.faults`).
+topology container (:mod:`repro.netsim.network`), deterministic fault
+injection (:mod:`repro.netsim.faults`), and a chaos-soak harness that
+composes randomized fault plans and checks global run invariants
+(:mod:`repro.netsim.chaos`).
 """
 
 from repro.netsim.addresses import (
@@ -16,6 +18,13 @@ from repro.netsim.addresses import (
     IPv4Network,
     AddressPool,
     is_private,
+)
+from repro.netsim.chaos import (
+    AttemptTracker,
+    ChaosConfig,
+    check_invariants,
+    random_fault_plan,
+    trace_fingerprint,
 )
 from repro.netsim.clock import Scheduler, Timer
 from repro.netsim.faults import FaultEvent, FaultInjector, FaultPlan
@@ -34,6 +43,11 @@ __all__ = [
     "is_private",
     "Scheduler",
     "Timer",
+    "AttemptTracker",
+    "ChaosConfig",
+    "check_invariants",
+    "random_fault_plan",
+    "trace_fingerprint",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",

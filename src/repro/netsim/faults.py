@@ -21,6 +21,11 @@ Fault catalog:
 ``server-restart`` Call ``restart()`` on an application-level actor (e.g. a
                    :class:`~repro.core.rendezvous.RendezvousServer`) passed
                    via ``targets=``.
+``server-kill``    Call ``stop()`` on an application-level actor: its
+                   sockets close, so probes draw silence (UDP) or RSTs
+                   (TCP) until a ``server-revive``.
+``server-revive``  Call ``start()`` on a killed actor: sockets rebind, all
+                   previous state forgotten.
 =================  ======================================================
 
 Typical use::
@@ -52,6 +57,8 @@ FAULT_LINK_UP = "link-up"
 FAULT_LINK_FLAP = "link-flap"
 FAULT_NAT_REBOOT = "nat-reboot"
 FAULT_SERVER_RESTART = "server-restart"
+FAULT_SERVER_KILL = "server-kill"
+FAULT_SERVER_REVIVE = "server-revive"
 
 KNOWN_FAULTS = (
     FAULT_LINK_DOWN,
@@ -59,6 +66,8 @@ KNOWN_FAULTS = (
     FAULT_LINK_FLAP,
     FAULT_NAT_REBOOT,
     FAULT_SERVER_RESTART,
+    FAULT_SERVER_KILL,
+    FAULT_SERVER_REVIVE,
 )
 
 #: A link stays down this long when a ``link-flap`` gives no duration.
@@ -173,14 +182,19 @@ class FaultInjector:
                 raise KeyError(f"fault targets unknown NAT {event.target!r}")
             port_base = int(event.arg) if event.arg is not None else None
             node.reset_state(port_base=port_base)
-        elif event.fault == FAULT_SERVER_RESTART:
+        elif event.fault in (FAULT_SERVER_RESTART, FAULT_SERVER_KILL, FAULT_SERVER_REVIVE):
+            method = {
+                FAULT_SERVER_RESTART: "restart",
+                FAULT_SERVER_KILL: "stop",
+                FAULT_SERVER_REVIVE: "start",
+            }[event.fault]
             actor = self.targets.get(event.target)
-            if actor is None or not hasattr(actor, "restart"):
+            if actor is None or not hasattr(actor, method):
                 raise KeyError(
                     f"fault targets unknown actor {event.target!r}; pass it "
                     f"via FaultPlan.schedule(net, targets={{name: actor}})"
                 )
-            actor.restart()
+            getattr(actor, method)()
 
     def __repr__(self) -> str:
         return f"FaultInjector(injected={len(self.injected)})"

@@ -35,6 +35,7 @@ from repro.obs.spans import (
     OUTCOME_ERROR,
     OUTCOME_FALLBACK,
     OUTCOME_LOCKED,
+    OUTCOME_MIGRATED,
     OUTCOME_OK,
     OUTCOME_TIMEOUT,
     Span,
@@ -51,6 +52,7 @@ __all__ = [
     "OUTCOME_ERROR",
     "OUTCOME_FALLBACK",
     "OUTCOME_LOCKED",
+    "OUTCOME_MIGRATED",
     "OUTCOME_OK",
     "OUTCOME_TIMEOUT",
     "format_metric_name",

@@ -1,0 +1,140 @@
+"""TURN survivability: refresh decay, server failover, relay relocation."""
+
+from repro.core.turn import TurnClient, TurnServer
+from repro.nat import behavior as B
+from repro.scenarios.topologies import Scenario, ScenarioBuilder
+
+
+def _nated_turn_host(builder, label, pub, prefix, behavior=B.WELL_BEHAVED):
+    nat, lan, gw = builder.add_nat(label, pub, prefix, behavior)
+    return builder.add_client_host(label, prefix.replace("0/24", "1"), prefix, lan, gw)
+
+
+def _turn_world(seed, num_turn_servers=1, refresh_interval=2.0):
+    """Rendezvous S + NATed PeerClients A/B + one or two TURN servers."""
+    builder = ScenarioBuilder(seed=seed)
+    server = builder.add_server()
+    turn_servers = []
+    for i in range(num_turn_servers):
+        relay_host = builder.add_public_host(f"relay{i + 1}", f"30.0.0.{i + 1}")
+        turn_servers.append(TurnServer(relay_host))
+    clients = {}
+    for index, (label, pub, prefix) in enumerate(
+        [("A", "155.99.25.11", "10.0.0.0/24"), ("B", "138.76.29.7", "10.1.1.0/24")],
+        start=1,
+    ):
+        host = _nated_turn_host(builder, label, pub, prefix)
+        clients[label] = builder.make_client(host, index)
+    sc = Scenario(net=builder.net, server=server, clients=clients)
+    for c in clients.values():
+        c.enable_turn(
+            turn_servers[0].endpoint,
+            refresh_interval=refresh_interval,
+            fallback_servers=[t.endpoint for t in turn_servers[1:]],
+        )
+    sc.register_all_udp()
+    return sc, turn_servers
+
+
+def _turn_pair(sc, timeout=30.0):
+    a = sc.clients["A"]
+    result = {}
+    sc.clients["B"].on_turn_session = lambda s: result.setdefault("b", s)
+    a.connect_via_turn(
+        2,
+        on_session=lambda s: result.setdefault("a", s),
+        on_failure=lambda e: result.setdefault("fail", e),
+    )
+    sc.wait_for(lambda: ("a" in result and "b" in result) or "fail" in result, timeout)
+    assert "a" in result and "b" in result, result.get("fail")
+    return result
+
+
+class TestTurnClientFailover:
+    def test_refresh_decay_rotates_to_fallback_server(self):
+        sc, (t1, t2) = _turn_world(seed=501, num_turn_servers=2, refresh_interval=1.0)
+        turn = sc.clients["A"].turn
+        allocated = []
+        failures = []
+        turn.on_failure = failures.append
+        turn.allocate(allocated.append)
+        sc.wait_for(lambda: allocated, 5.0)
+        assert str(allocated[0].ip) == "30.0.0.1"
+        t1.stop()
+        sc.wait_for(lambda: turn.failovers >= 1, 20.0)
+        assert failures, "on_failure should fire when refreshes decay"
+        assert turn.server == t2.endpoint
+        sc.wait_for(
+            lambda: turn.relay_endpoint is not None
+            and str(turn.relay_endpoint.ip) == "30.0.0.2",
+            10.0,
+        )
+        assert turn.relocations >= 1
+
+    def test_single_server_revive_reallocates(self):
+        """With no fallback, decay re-tries the same server — covering the
+        kill/revive cycle without any configuration."""
+        sc, (t1,) = _turn_world(seed=502, refresh_interval=1.0)
+        turn = sc.clients["A"].turn
+        allocated = []
+        turn.allocate(allocated.append)
+        sc.wait_for(lambda: allocated, 5.0)
+        t1.stop()
+        sc.run_for(3.0)
+        t1.start()
+        sc.wait_for(lambda: turn.failovers >= 1, 20.0)
+        sc.wait_for(lambda: len(t1.allocations) >= 1, 15.0)
+        assert turn.server == t1.endpoint  # rotated back onto itself
+
+
+class TestTurnPairSurvival:
+    def test_server_restart_relocates_and_pair_resumes(self):
+        sc, (t1,) = _turn_world(seed=503, refresh_interval=2.0)
+        result = _turn_pair(sc)
+        established = {"a": 0}
+        result["a"].on_established = lambda s: established.__setitem__(
+            "a", established["a"] + 1
+        )
+        got = []
+        result["b"].on_data = got.append
+        result["a"].send(b"before restart")
+        sc.wait_for(lambda: got, 5.0)
+        t1.restart()  # allocations rebuilt on new relay ports at next refresh
+        sc.wait_for(
+            lambda: sc.clients["A"].turn.relocations >= 1
+            and sc.clients["B"].turn.relocations >= 1,
+            20.0,
+        )
+        # Both pairs resumed onto the relocated relay endpoints.
+        sc.wait_for(
+            lambda: result["a"].established and result["b"].established, 20.0
+        )
+        assert result["a"].resumes >= 1 or result["b"].resumes >= 1
+        result["a"].send(b"after restart")
+        sc.wait_for(lambda: len(got) >= 2, 10.0)
+        assert got == [b"before restart", b"after restart"]
+        # Resume must not re-fire on_established (armed after establishment).
+        assert established["a"] == 0
+
+    def test_turn_kill_and_failover_moves_pair_to_fallback(self):
+        sc, (t1, t2) = _turn_world(seed=504, num_turn_servers=2, refresh_interval=1.0)
+        result = _turn_pair(sc)
+        got = []
+        result["b"].on_data = got.append
+        result["a"].send(b"via primary")
+        sc.wait_for(lambda: got, 5.0)
+        t1.stop()
+        sc.wait_for(
+            lambda: all(c.turn.failovers >= 1 for c in sc.clients.values()), 30.0
+        )
+        sc.wait_for(
+            lambda: result["a"].established
+            and result["b"].established
+            and str(result["a"].peer_relay.ip) == "30.0.0.2"
+            and str(result["b"].peer_relay.ip) == "30.0.0.2",
+            30.0,
+        )
+        result["a"].send(b"via fallback")
+        sc.wait_for(lambda: len(got) >= 2, 10.0)
+        assert got == [b"via primary", b"via fallback"]
+        assert t2.allocations_created >= 2
