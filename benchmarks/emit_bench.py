@@ -1,31 +1,72 @@
-"""Emit ``BENCH_obs.json``: the substrate's throughput record.
+"""Emit the repo's benchmark records (``BENCH_obs.json``, ``BENCH_perf.json``).
 
-Archives three wall-clock numbers so perf PRs have a baseline to diff
-against: raw scheduler event throughput, end-to-end packet throughput
-through a NAT, and the Table 1 fleet's wall time.  All three are measured
-with :class:`repro.obs.profile.RunProfiler` — the same hook
-``test_simulator_perf.py`` asserts against.
+Each bench suite registers an emitter with :func:`emitter`; one invocation
+measures every suite and writes every record, so perf PRs always refresh the
+full baseline set in a single run.  Shared measurements (scheduler event
+throughput, NAT echo throughput) are memoised on the :class:`BenchContext`
+so suites that report the same number never pay for it twice.
 
-Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--quick] [-o PATH]
+Records:
+
+``BENCH_obs.json``
+    The observability-era record: RunProfiler dumps for the scheduler and
+    NAT-echo workloads plus the serial Table 1 fleet wall time.
+
+``BENCH_perf.json``
+    The perf-overhaul record: scheduler events/s, NAT packets/s, and the
+    serial-vs-parallel Table 1 fleet comparison (wall seconds for
+    ``workers=1`` and ``workers=N``, the speedup factor, and N).
+
+Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--quick] [--only NAME]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
+from typing import Callable, Dict
 
 from repro.nat import behavior as B
 from repro.nat.device import NatDevice
-from repro.natcheck.fleet import VENDOR_SPECS, run_fleet
+from repro.natcheck.fleet import VENDOR_SPECS, resolve_workers, run_fleet
 from repro.netsim.addresses import Endpoint
 from repro.netsim.clock import Scheduler
 from repro.netsim.link import LAN_LINK
 from repro.netsim.network import Network
 from repro.obs.profile import RunProfiler
 from repro.transport.stack import attach_stack
+
+BENCH_EMITTERS: Dict[str, Callable[["BenchContext"], dict]] = {}
+
+
+def emitter(filename: str):
+    """Register a bench-suite emitter under its output filename."""
+
+    def register(fn: Callable[["BenchContext"], dict]):
+        BENCH_EMITTERS[filename] = fn
+        return fn
+
+    return register
+
+
+class BenchContext:
+    """Memoises measurements shared between emitters (run once, report twice)."""
+
+    def __init__(self, quick: bool = False) -> None:
+        self.quick = quick
+        self._cache: Dict[str, object] = {}
+
+    def get(self, name: str, measure: Callable[[], object]):
+        if name not in self._cache:
+            self._cache[name] = measure()
+        return self._cache[name]
+
+
+# -- workloads ---------------------------------------------------------------
 
 
 def bench_scheduler(events: int = 50_000) -> dict:
@@ -73,43 +114,122 @@ def bench_packets(packets: int = 5_000) -> dict:
     return prof.to_dict()
 
 
-def bench_fleet(quick: bool = False) -> dict:
-    """Wall time of the Table 1 fleet — the workload users actually wait on."""
+def _timed_fleet(quick: bool, workers: int) -> dict:
     specs = VENDOR_SPECS[:2] if quick else VENDOR_SPECS
     started = time.perf_counter()
-    fleet = run_fleet(specs=specs, seed=42)
+    fleet = run_fleet(specs=specs, seed=42, workers=workers)
     wall = time.perf_counter() - started
     return {
         "wall_seconds": wall,
         "devices": fleet.total_devices,
         "devices_per_second": fleet.total_devices / wall if wall > 0 else 0.0,
         "quick": quick,
+        "rows": [report.summary() for report in fleet.all_reports()],
     }
+
+
+def bench_fleet(quick: bool = False) -> dict:
+    """Wall time of the Table 1 fleet — the workload users actually wait on."""
+    record = dict(_timed_fleet(quick, workers=1))
+    record.pop("rows")
+    return record
+
+
+def bench_fleet_parallel(quick: bool = False) -> dict:
+    """Serial vs parallel Table 1 fleet: the tentpole's headline number.
+
+    Both runs must produce identical report summaries — the parallel path is
+    only allowed to be a speedup, never a behaviour change — so the rows are
+    compared before the timing record is returned.
+    """
+    workers = resolve_workers(0)  # all cores
+    serial = _timed_fleet(quick, workers=1)
+    parallel = _timed_fleet(quick, workers=workers)
+    assert serial["rows"] == parallel["rows"], "parallel fleet diverged from serial"
+    speedup = (
+        serial["wall_seconds"] / parallel["wall_seconds"]
+        if parallel["wall_seconds"] > 0
+        else 0.0
+    )
+    return {
+        "devices": serial["devices"],
+        "serial_wall_seconds": serial["wall_seconds"],
+        "parallel_wall_seconds": parallel["wall_seconds"],
+        "workers": workers,
+        "speedup": speedup,
+        "rows_identical": True,
+        "quick": quick,
+    }
+
+
+# -- emitters ----------------------------------------------------------------
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+@emitter("BENCH_obs.json")
+def emit_obs(ctx: BenchContext) -> dict:
+    record = dict(_environment())
+    record.pop("cpu_count")  # keep the historical BENCH_obs shape
+    record["scheduler"] = ctx.get("scheduler", bench_scheduler)
+    record["nat_udp_echo"] = ctx.get("nat_udp_echo", bench_packets)
+    record["table1_fleet"] = ctx.get(
+        "table1_fleet", lambda: bench_fleet(quick=ctx.quick)
+    )
+    return record
+
+
+@emitter("BENCH_perf.json")
+def emit_perf(ctx: BenchContext) -> dict:
+    scheduler = ctx.get("scheduler", bench_scheduler)
+    echo = ctx.get("nat_udp_echo", bench_packets)
+    record = dict(_environment())
+    record["scheduler_events_per_second"] = scheduler["events_per_second"]
+    record["nat_packets_per_second"] = echo["packets_per_second"]
+    record["table1_fleet"] = ctx.get(
+        "fleet_parallel", lambda: bench_fleet_parallel(quick=ctx.quick)
+    )
+    return record
+
+
+# -- driver ------------------------------------------------------------------
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
-                        help="fleet bench uses only the first two vendors")
-    parser.add_argument("-o", "--output", default="BENCH_obs.json")
+                        help="fleet benches use only the first two vendors")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="NAME", choices=sorted(BENCH_EMITTERS),
+                        help="emit only the named record (repeatable)")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory the records are written into")
     args = parser.parse_args(argv)
-    record = {
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "scheduler": bench_scheduler(),
-        "nat_udp_echo": bench_packets(),
-        "table1_fleet": bench_fleet(quick=args.quick),
-    }
-    with open(args.output, "w") as fh:
-        json.dump(record, fh, indent=2)
-        fh.write("\n")
-    print(f"wrote {args.output}")
-    print(f"  scheduler: {record['scheduler']['events_per_second']:,.0f} events/s")
-    print(f"  nat echo:  {record['nat_udp_echo']['packets_per_second']:,.0f} packets/s")
-    print(
-        "  fleet:     {devices} devices in {wall_seconds:.2f}s "
-        "({devices_per_second:.1f}/s)".format(**record["table1_fleet"])
-    )
+    selected = args.only or sorted(BENCH_EMITTERS)
+    ctx = BenchContext(quick=args.quick)
+    for filename in selected:
+        record = BENCH_EMITTERS[filename](ctx)
+        path = os.path.join(args.out_dir, filename)
+        with open(path, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {path}")
+    if "BENCH_perf.json" in selected:
+        perf = BENCH_EMITTERS["BENCH_perf.json"](ctx)
+        fleet = perf["table1_fleet"]
+        print(f"  scheduler: {perf['scheduler_events_per_second']:,.0f} events/s")
+        print(f"  nat echo:  {perf['nat_packets_per_second']:,.0f} packets/s")
+        print(
+            "  fleet:     {devices} devices, serial {serial_wall_seconds:.2f}s, "
+            "parallel {parallel_wall_seconds:.2f}s x{workers} "
+            "(speedup {speedup:.2f})".format(**fleet)
+        )
     return 0
 
 

@@ -5,7 +5,10 @@ regressions in the hot paths (scheduler heap, link delivery, NAT
 translation) are visible.  The 380-device Table 1 fleet leans on these.
 """
 
+import os
 import time
+
+import pytest
 
 from repro.nat import behavior as B
 from repro.nat.device import NatDevice
@@ -202,6 +205,37 @@ def test_private_port_conflict_check_scales_flat():
     assert large <= small * 6 + 0.01, (
         f"conflict check degraded with table size: "
         f"200 mappings={small:.5f}s 6400 mappings={large:.5f}s"
+    )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="parallel fleet speedup needs more than one core",
+)
+def test_parallel_fleet_speedup():
+    """run_fleet(workers=4) must beat serial by >= 1.5x on multi-core hosts.
+
+    The fleet is embarrassingly parallel (each device an isolated
+    simulation), so anything below 1.5x at four workers means the pool is
+    serialising somewhere — oversized pickles, chunking gone degenerate, or
+    a lock on the progress path.
+    """
+    from repro.natcheck.fleet import run_fleet
+
+    def timed(workers: int) -> float:
+        best = float("inf")
+        for _ in range(2):
+            started = time.perf_counter()
+            run_fleet(seed=42, workers=workers)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    timed(4)  # warm the pool/import path before measuring
+    serial = timed(1)
+    parallel = timed(4)
+    assert parallel * 1.5 <= serial, (
+        f"parallel fleet too slow: serial={serial:.3f}s parallel={parallel:.3f}s "
+        f"(speedup {serial / parallel:.2f}x, need >=1.5x)"
     )
 
 

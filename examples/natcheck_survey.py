@@ -5,18 +5,24 @@ Synthesises the 380-device population matching the paper's per-vendor
 behaviour mix and runs the full NAT Check protocol (§6.1) against every
 device, then prints the aggregated table next to the paper's numbers.
 
-Run:  python examples/natcheck_survey.py [--quick]
+Run:  python examples/natcheck_survey.py [--quick] [--workers N]
       --quick tests one device per vendor instead of the full population.
+      --workers N fans the fleet out over N processes (0 = all cores);
+      defaults to the REPRO_FLEET_WORKERS environment variable, else serial.
 """
 
-import sys
+import argparse
 
 from repro.natcheck.fleet import VENDOR_SPECS, VendorSpec, run_fleet
 from repro.natcheck.table import render_table1
 
 
 def main() -> None:
-    quick = "--quick" in sys.argv
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--workers", type=int, default=None)
+    args = parser.parse_args()
+    quick = args.quick
     specs = VENDOR_SPECS
     if quick:
         specs = tuple(
@@ -30,7 +36,7 @@ def main() -> None:
         if done == total:
             print(f"  {vendor}: {total} device(s) tested")
 
-    result = run_fleet(specs, seed=42, progress=progress)
+    result = run_fleet(specs, seed=42, progress=progress, workers=args.workers)
     print(f"\n{result.total_devices} simulated NAT Check reports\n")
     print(render_table1(result.reports))
     print(

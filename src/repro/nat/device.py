@@ -19,6 +19,7 @@ from repro.netsim.clock import Scheduler
 from repro.netsim.link import Link
 from repro.netsim.node import Interface, Router
 from repro.netsim.packet import (
+    IcmpError,
     IcmpType,
     IpProtocol,
     Packet,
@@ -28,6 +29,7 @@ from repro.netsim.packet import (
 )
 from repro.nat.behavior import NatBehavior
 from repro.nat.mapping import NatMapping, NatTable
+from repro.obs.metrics import Counter
 from repro.nat.policy import FilteringPolicy, MappingPolicy, TcpRefusalPolicy
 from repro.util.errors import RoutingError
 from repro.util.rng import SeededRng
@@ -67,13 +69,23 @@ class NatDevice(Router):
         self.hairpin_refused = 0
         self.payloads_mangled = 0
         self.reboots = 0
-        #: Why packets died here (reason -> count); feeds the ``nat.drops``
-        #: metric.  Reasons: no-mapping, filtered, icmp-unmatched, no-route,
-        #: ttl-expired, hairpin-refused.
-        self.drops_by_reason: dict = {}
+        # Pre-bound drop counters, one handle per reason (no-mapping,
+        # filtered, icmp-unmatched, no-route, ttl-expired, hairpin-refused);
+        # feeds the ``nat.drops`` metric via :attr:`drops_by_reason`.
+        self._drop_handles: dict = {}
 
     def _count_drop(self, reason: str) -> None:
-        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        handle = self._drop_handles.get(reason)
+        if handle is None:
+            handle = self._drop_handles[reason] = Counter(
+                "nat.drops", (("node", self.name), ("reason", reason))
+            )
+        handle.inc()
+
+    @property
+    def drops_by_reason(self) -> dict:
+        """Why packets died here (reason -> count)."""
+        return {reason: h.value for reason, h in self._drop_handles.items()}
 
     # -- wiring -----------------------------------------------------------------
 
@@ -300,7 +312,13 @@ class NatDevice(Router):
         translated = packet.copy()
         translated.ttl = packet.ttl - 1
         translated.dst = Endpoint(mapping.private.ip, 0)
-        translated.icmp.original_src = mapping.private
+        # copy() shares the ICMP body, so rebuild it instead of mutating.
+        translated.icmp = IcmpError(
+            icmp_type=error.icmp_type,
+            original_proto=error.original_proto,
+            original_src=mapping.private,
+            original_dst=error.original_dst,
+        )
         self.translations_in += 1
         self._emit(translated)
 

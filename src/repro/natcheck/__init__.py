@@ -9,7 +9,14 @@ client behind the NAT under test and three well-known public servers.
 from repro.natcheck.classify import NatCheckReport
 from repro.natcheck.client import NatCheckClient, NatCheckConfig
 from repro.natcheck.discovery import DiscoveryResult, NatDiscovery
-from repro.natcheck.fleet import FleetResult, VendorSpec, VENDOR_SPECS, run_fleet
+from repro.natcheck.fleet import (
+    FleetResult,
+    VendorSpec,
+    VENDOR_SPECS,
+    device_seed,
+    resolve_workers,
+    run_fleet,
+)
 from repro.natcheck.servers import NatCheckServers
 from repro.natcheck.table import Table1Row, render_table1, table1_rows
 
@@ -22,6 +29,8 @@ __all__ = [
     "FleetResult",
     "VendorSpec",
     "VENDOR_SPECS",
+    "device_seed",
+    "resolve_workers",
     "run_fleet",
     "NatCheckServers",
     "Table1Row",

@@ -23,8 +23,10 @@ the paper by that same margin; EXPERIMENTS.md discusses it.
 
 from __future__ import annotations
 
+import os
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.nat.behavior import NatBehavior
 from repro.nat.device import NatDevice
@@ -200,25 +202,130 @@ class FleetResult:
         return latency_histograms(self.reports)
 
 
+#: Environment override for :func:`run_fleet`'s worker count.  An integer
+#: sets the pool size; ``auto`` (or ``0``) means ``os.cpu_count()``.
+WORKERS_ENV = "REPRO_FLEET_WORKERS"
+
+#: Devices per parallel task.  Small enough that the biggest vendor rows
+#: split across workers, large enough to amortise task/pickle overhead.
+FLEET_CHUNK = 16
+
+
+def device_seed(seed: int, vendor: str, index: int) -> int:
+    """Stable per-device seed: same fleet for the same *seed*, everywhere.
+
+    Uses ``zlib.crc32`` rather than ``hash()`` — the builtin string hash is
+    randomized per interpreter by ``PYTHONHASHSEED``, which would silently
+    break "same seed => same fleet" across runs and across pool workers.
+    """
+    return seed * 1_000_003 + zlib.crc32(f"{vendor}:{index}".encode()) % 1_000_000
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Effective pool size: explicit kwarg > ``REPRO_FLEET_WORKERS`` > 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip().lower()
+        if not raw:
+            return 1
+        workers = 0 if raw == "auto" else int(raw)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+def _check_one(spec: VendorSpec, seed: int, index: int) -> NatCheckReport:
+    report = check_device(
+        device_behavior(spec, index),
+        device_config(spec, index),
+        seed=device_seed(seed, spec.name, index),
+    )
+    report.vendor = spec.name
+    report.device = f"{spec.name}-{index}"
+    return report
+
+
+def _check_range(
+    spec: VendorSpec, seed: int, start: int, stop: int
+) -> List[NatCheckReport]:
+    """Worker task: run devices ``start:stop`` of one vendor population.
+
+    Module-level (picklable) so :class:`~concurrent.futures.ProcessPoolExecutor`
+    can ship it to pool workers; every device builds its own private
+    :class:`~repro.netsim.network.Network`, so tasks share no state.
+    """
+    return [_check_one(spec, seed, index) for index in range(start, stop)]
+
+
+def _chunk_tasks(
+    specs: Sequence[VendorSpec], chunk: int
+) -> List[Tuple[int, int, int]]:
+    """Vendor-sliced task list: (spec position, start index, stop index)."""
+    tasks = []
+    for position, spec in enumerate(specs):
+        for start in range(0, spec.population, chunk):
+            tasks.append((position, start, min(start + chunk, spec.population)))
+    return tasks
+
+
 def run_fleet(
     specs: Tuple[VendorSpec, ...] = VENDOR_SPECS,
     seed: int = 0,
     progress: Optional[Callable[[str, int, int], None]] = None,
+    workers: Optional[int] = None,
+    _runner: Callable[[VendorSpec, int, int, int], List[NatCheckReport]] = _check_range,
 ) -> FleetResult:
-    """Run NAT Check against the whole synthetic fleet (Table 1's workload)."""
+    """Run NAT Check against the whole synthetic fleet (Table 1's workload).
+
+    With ``workers > 1`` (or ``REPRO_FLEET_WORKERS`` set), device runs fan
+    out over a :class:`~concurrent.futures.ProcessPoolExecutor` in
+    vendor-sliced chunks.  Every device is an isolated simulation with a
+    seed derived by :func:`device_seed`, so parallel and serial runs return
+    identical :class:`FleetResult`\\ s — report for report, in the same
+    order.  *progress* always runs in the calling process (per device when
+    serial, per completed chunk when parallel); a worker exception
+    propagates to the caller after cancelling the remaining tasks.
+    """
+    effective = resolve_workers(workers)
     result = FleetResult()
-    for spec in specs:
-        vendor_reports: List[NatCheckReport] = []
-        for index in range(spec.population):
-            report = check_device(
-                device_behavior(spec, index),
-                device_config(spec, index),
-                seed=seed * 1_000_003 + hash((spec.name, index)) % 1_000_000,
+    if effective == 1:
+        for spec in specs:
+            vendor_reports: List[NatCheckReport] = []
+            for index in range(spec.population):
+                vendor_reports.append(_check_one(spec, seed, index))
+                if progress is not None:
+                    progress(spec.name, index + 1, spec.population)
+            result.reports[spec.name] = vendor_reports
+        return result
+
+    from concurrent.futures import ProcessPoolExecutor, as_completed
+
+    tasks = _chunk_tasks(specs, FLEET_CHUNK)
+    chunks: Dict[Tuple[int, int], List[NatCheckReport]] = {}
+    completed = {spec.name: 0 for spec in specs}
+    with ProcessPoolExecutor(max_workers=min(effective, len(tasks) or 1)) as pool:
+        futures = {
+            pool.submit(_runner, specs[position], seed, start, stop): (
+                position,
+                start,
+                stop,
             )
-            report.vendor = spec.name
-            report.device = f"{spec.name}-{index}"
-            vendor_reports.append(report)
-            if progress is not None:
-                progress(spec.name, index + 1, spec.population)
+            for position, start, stop in tasks
+        }
+        try:
+            for future in as_completed(futures):
+                position, start, stop = futures[future]
+                chunks[(position, start)] = future.result()
+                if progress is not None:
+                    spec = specs[position]
+                    completed[spec.name] += stop - start
+                    progress(spec.name, completed[spec.name], spec.population)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+    for position, spec in enumerate(specs):
+        vendor_reports = []
+        for start in range(0, spec.population, FLEET_CHUNK):
+            vendor_reports.extend(chunks[(position, start)])
         result.reports[spec.name] = vendor_reports
     return result

@@ -225,6 +225,12 @@ class Endpoint:
         """Endpoint with one's-complement IP (paper §3.1 / §5.3 defence)."""
         return Endpoint(self.ip.complement(), self.port)
 
+    def __reduce__(self):
+        # The immutable __setattr__ defeats pickle's default slot restore;
+        # rebuild through the constructor instead (fleet workers ship
+        # NatCheckReports, which embed Endpoints, back across the pool).
+        return (Endpoint, (self.ip, self.port))
+
     def __eq__(self, other) -> bool:
         return (
             isinstance(other, Endpoint)

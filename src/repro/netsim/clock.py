@@ -48,7 +48,7 @@ class Timer:
             return
         self._cancelled = True
         if self._scheduler is not None:
-            self._scheduler.events_cancelled += 1
+            self._scheduler._note_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -75,12 +75,32 @@ class Scheduler:
 
     Time is a float in seconds and starts at 0.0.  Nothing advances the clock
     except :meth:`step`, :meth:`run_until`, or :meth:`run`.
+
+    Cancelled timers stay in the heap until popped (cheap cancellation), but
+    once they outnumber the live timers the heap is lazily compacted: dead
+    entries are filtered out and the heap rebuilt in O(n).  Entries keep
+    their original insertion sequence numbers, so tie-breaking — and
+    therefore every wire trace — is byte-identical with and without
+    compaction.
     """
+
+    #: Never compact heaps smaller than this; rebuilding a tiny heap costs
+    #: more than popping the dead entries would.
+    COMPACT_MIN = 64
 
     def __init__(self) -> None:
         self._now = 0.0
         self._heap: List[Tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
+        #: Cancelled timers still occupying heap slots.
+        self._cancelled_in_heap = 0
+        #: Lazy removal of cancelled entries (see class docstring); tests
+        #: flip this off to prove traces don't depend on it.
+        self.compaction_enabled = True
+        #: Times the heap was rebuilt to shed cancelled entries.
+        self.compactions = 0
+        #: Dead entries removed by compaction (vs. popped organically).
+        self.compacted_entries = 0
         #: Events whose callbacks actually ran (cancelled timers excluded).
         self.events_fired = 0
         #: Timers cancelled while still pending.
@@ -98,8 +118,29 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of timers still in the heap (including cancelled ones)."""
-        return sum(1 for _, _, t in self._heap if t.active)
+        """Number of live (neither fired nor cancelled) timers in the heap."""
+        return len(self._heap) - self._cancelled_in_heap
+
+    def _note_cancel(self) -> None:
+        """Bookkeeping for Timer.cancel; compacts when dead entries win."""
+        self.events_cancelled += 1
+        self._cancelled_in_heap += 1
+        if (
+            self.compaction_enabled
+            and len(self._heap) >= self.COMPACT_MIN
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify; order is preserved because
+        surviving entries keep their (when, sequence) sort keys."""
+        before = len(self._heap)
+        self._heap = [entry for entry in self._heap if not entry[2]._cancelled]
+        heapq.heapify(self._heap)
+        self.compactions += 1
+        self.compacted_entries += before - len(self._heap)
+        self._cancelled_in_heap = 0
 
     @property
     def queue_depth(self) -> int:
@@ -123,16 +164,29 @@ class Scheduler:
         return timer
 
     def call_later(self, delay: float, callback: Callable[..., Any], *args: Any) -> Timer:
-        """Schedule *callback(*args)* after *delay* seconds (>= 0)."""
+        """Schedule *callback(*args)* after *delay* seconds (>= 0).
+
+        Fast path: a non-negative delay cannot land in the past, so this
+        skips :meth:`call_at`'s causality check and pushes directly — this
+        is the constructor virtually every packet delivery and protocol
+        timer goes through.
+        """
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        return self.call_at(self._now + delay, callback, *args)
+        when = self._now + delay
+        timer = Timer(when, callback, args, self)
+        heap = self._heap
+        heapq.heappush(heap, (when, next(self._sequence), timer))
+        if len(heap) > self.max_queue_depth:
+            self.max_queue_depth = len(heap)
+        return timer
 
     def step(self) -> bool:
         """Fire the earliest pending event.  Returns False if none remain."""
         while self._heap:
             when, _, timer = heapq.heappop(self._heap)
-            if timer.cancelled:
+            if timer._cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = when
             self.events_fired += 1
@@ -155,7 +209,8 @@ class Scheduler:
             if when > deadline:
                 break
             heapq.heappop(self._heap)
-            if timer.cancelled:
+            if timer._cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self._now = when
             self.events_fired += 1

@@ -20,7 +20,8 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.netsim.addresses import IPv4Address
 from repro.netsim.clock import Scheduler, Timer
-from repro.netsim.packet import Packet
+from repro.netsim.packet import IpProtocol, Packet
+from repro.obs.metrics import Counter
 from repro.util.rng import SeededRng
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -133,10 +134,27 @@ class Link:
         self.duplicates_delivered = 0
         self.packets_reordered = 0
         self.bytes_sent = 0
-        #: Per-protocol breakdowns (IpProtocol -> count), fed to the metrics
-        #: registry by the owning network's collector.
-        self.sent_by_proto: Dict[object, int] = {}
-        self.lost_by_proto: Dict[object, int] = {}
+        # Pre-bound per-protocol counter handles (one attribute add per
+        # packet on the hot path); the owning network's collector reads the
+        # dict views below at snapshot time.
+        self._sent_handles: Dict[IpProtocol, Counter] = {
+            proto: Counter("link.packets_sent", (("proto", proto.value),))
+            for proto in IpProtocol
+        }
+        self._lost_handles: Dict[IpProtocol, Counter] = {
+            proto: Counter("link.packets_lost", (("proto", proto.value),))
+            for proto in IpProtocol
+        }
+
+    @property
+    def sent_by_proto(self) -> Dict[IpProtocol, int]:
+        """Per-protocol sent counts (protocols actually seen only)."""
+        return {p: c.value for p, c in self._sent_handles.items() if c.value}
+
+    @property
+    def lost_by_proto(self) -> Dict[IpProtocol, int]:
+        """Per-protocol loss counts (protocols actually seen only)."""
+        return {p: c.value for p, c in self._lost_handles.items() if c.value}
 
     def attach(self, node: "Node", ip) -> None:
         """Attach *node*'s interface at *ip* to this segment."""
@@ -216,13 +234,13 @@ class Link:
             return False
         if self.profile.loss and self._rng.chance(self.profile.loss):
             self.packets_dropped += 1
-            self.lost_by_proto[packet.proto] = self.lost_by_proto.get(packet.proto, 0) + 1
+            self._lost_handles[packet.proto].inc()
             self._record(packet, sender, receiver, "lost")
             return False
         if self.profile.burst_enter and self._ge_burst_drops(packet):
             self.packets_dropped += 1
             self.burst_drops += 1
-            self.lost_by_proto[packet.proto] = self.lost_by_proto.get(packet.proto, 0) + 1
+            self._lost_handles[packet.proto].inc()
             self._record(packet, sender, receiver, "burst-lost")
             return False
         delay = self.profile.latency
@@ -247,7 +265,7 @@ class Link:
             self.packets_reordered += 1
         self.packets_sent += 1
         self.bytes_sent += packet.size
-        self.sent_by_proto[packet.proto] = self.sent_by_proto.get(packet.proto, 0) + 1
+        self._sent_handles[packet.proto].inc()
         self._record(packet, sender, receiver, "sent")
         self._schedule_delivery(packet, sender, receiver, delay)
         if self.profile.duplicate and self._rng.chance(self.profile.duplicate):
@@ -255,7 +273,7 @@ class Link:
             self.duplicates_delivered += 1
             self.packets_sent += 1
             self.bytes_sent += packet.size
-            self.sent_by_proto[packet.proto] = self.sent_by_proto.get(packet.proto, 0) + 1
+            self._sent_handles[packet.proto].inc()
             self._record(packet, sender, receiver, "duplicated")
             self._schedule_delivery(packet, sender, receiver, delay + self.profile.latency)
         return True

@@ -134,6 +134,8 @@ class Network:
         scheduler = self.scheduler
         registry.counter("scheduler.events_fired").value = scheduler.events_fired
         registry.counter("scheduler.events_cancelled").value = scheduler.events_cancelled
+        registry.counter("scheduler.compactions").value = scheduler.compactions
+        registry.counter("scheduler.compacted_entries").value = scheduler.compacted_entries
         registry.gauge("scheduler.queue_depth").set(scheduler.queue_depth)
         registry.gauge("scheduler.max_queue_depth").set(scheduler.max_queue_depth)
         sent_by_proto: Dict[object, int] = {}

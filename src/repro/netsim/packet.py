@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.netsim.addresses import Endpoint
@@ -43,9 +43,15 @@ class TcpFlags(enum.IntFlag):
         return "+".join(names) if names else "none"
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpHeader:
-    """TCP segment header: flags and 32-bit sequence/ack numbers."""
+    """TCP segment header: flags and 32-bit sequence/ack numbers.
+
+    Treated as immutable once attached to a packet: :meth:`Packet.copy`
+    shares the header object between the original and the copy, so in-place
+    header mutation would alias across NAT hops.  Build a fresh header (or
+    ``dataclasses.replace``) instead of writing fields.
+    """
 
     flags: TcpFlags = TcpFlags.NONE
     seq: int = 0
@@ -77,13 +83,15 @@ class IcmpType(enum.Enum):
     ADMIN_PROHIBITED = "admin-prohibited"
 
 
-@dataclass
+@dataclass(slots=True)
 class IcmpError:
     """An ICMP error, carrying the offending packet's session identifiers.
 
     ``original_src``/``original_dst`` identify the transport session of the
     packet that provoked the error (as real ICMP embeds the original header),
-    so the TCP stack can route the error to the right socket.
+    so the TCP stack can route the error to the right socket.  Like
+    :class:`TcpHeader`, the body is shared by :meth:`Packet.copy` and must
+    not be mutated in place — translators build a fresh body.
     """
 
     icmp_type: IcmpType
@@ -92,7 +100,7 @@ class IcmpError:
     original_dst: Endpoint
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated IP packet.
 
@@ -127,17 +135,28 @@ class Packet:
             raise ValueError("ICMP packet requires an IcmpError body")
 
     def copy(self) -> "Packet":
-        """Deep-enough copy for NAT rewriting: headers are fresh objects,
-        payload bytes are shared (immutable)."""
-        return Packet(
-            proto=self.proto,
-            src=self.src,
-            dst=self.dst,
-            payload=self.payload,
-            tcp=replace(self.tcp) if self.tcp else None,
-            icmp=replace(self.icmp) if self.icmp else None,
-            ttl=self.ttl,
-        )
+        """Copy-on-write clone for NAT rewriting.
+
+        This is the per-hop hot path (every NAT translation and router
+        forward clones the packet), so it bypasses ``__init__`` — the
+        original already passed ``__post_init__`` validation and the clone
+        carries the same protocol invariants.  Top-level fields (``src``,
+        ``dst``, ``ttl``, ``payload``) are per-clone and safe to overwrite;
+        the ``tcp``/``icmp`` header objects and the payload bytes are
+        *shared* and treated as immutable — a mangling NAT rebinds
+        ``payload`` to new bytes, and the ICMP translator attaches a fresh
+        :class:`IcmpError` rather than writing through the shared one.
+        """
+        clone = object.__new__(Packet)
+        clone.proto = self.proto
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.payload = self.payload
+        clone.tcp = self.tcp
+        clone.icmp = self.icmp
+        clone.ttl = self.ttl
+        clone.packet_id = next(_packet_ids)
+        return clone
 
     @property
     def size(self) -> int:

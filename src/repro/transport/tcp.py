@@ -49,6 +49,7 @@ from repro.netsim.packet import (
     TcpFlags,
     tcp_packet,
 )
+from repro.obs.metrics import Counter
 from repro.util.errors import BindError, ConnectionError_
 from repro.util.rng import SeededRng
 
@@ -602,13 +603,23 @@ class TcpStack:
         self.retransmits = 0
         #: Retransmission timer expiries that found live work to retry.
         self.rto_fires = 0
-        #: How connect attempts ended (outcome -> count): "connected",
-        #: "reset", "timeout", "unreachable", "address-in-use".  Feeds the
-        #: ``tcp.syn_outcomes`` metric.
-        self.syn_outcomes: Dict[str, int] = {}
+        # Pre-bound per-outcome counter handles ("connected", "reset",
+        # "timeout", "unreachable", "address-in-use"); feeds the
+        # ``tcp.syn_outcomes`` metric via :attr:`syn_outcomes`.
+        self._syn_outcome_handles: Dict[str, Counter] = {}
 
     def _count_syn_outcome(self, outcome: str) -> None:
-        self.syn_outcomes[outcome] = self.syn_outcomes.get(outcome, 0) + 1
+        handle = self._syn_outcome_handles.get(outcome)
+        if handle is None:
+            handle = self._syn_outcome_handles[outcome] = Counter(
+                "tcp.syn_outcomes", (("outcome", outcome),)
+            )
+        handle.inc()
+
+    @property
+    def syn_outcomes(self) -> Dict[str, int]:
+        """How connect attempts ended (outcome -> count)."""
+        return {outcome: h.value for outcome, h in self._syn_outcome_handles.items()}
 
     @property
     def scheduler(self):

@@ -201,3 +201,109 @@ def test_cancel_mid_run_from_other_callback():
     s.call_at(1.0, victim.cancel)
     s.run()
     assert fired == []
+
+
+# -- lazy compaction of cancelled timers -------------------------------------
+
+
+def test_compaction_bounds_heap_after_mass_cancellation():
+    """10k timers, 9k cancelled: the heap must shed the dead entries instead
+    of carrying them until their (possibly distant) due times."""
+    s = Scheduler()
+    timers = [s.call_later(1.0 + (i % 100), lambda: None) for i in range(10_000)]
+    for timer in timers[:9_000]:
+        timer.cancel()
+    assert s.pending == 1_000
+    assert s.queue_depth < 2 * 1_000
+    assert s.compactions > 0
+    assert s.compacted_entries > 0
+    assert s.run() == 1_000  # every survivor still fires
+
+
+def test_compaction_disabled_keeps_dead_entries():
+    s = Scheduler()
+    s.compaction_enabled = False
+    timers = [s.call_later(1.0, lambda: None) for _ in range(1_000)]
+    for timer in timers[:900]:
+        timer.cancel()
+    assert s.queue_depth == 1_000
+    assert s.pending == 100
+    assert s.compactions == 0
+    assert s.run() == 100
+
+
+def test_compaction_preserves_tie_break_order():
+    """Surviving entries keep their insertion sequence numbers, so same-time
+    timers still fire in scheduling order after a rebuild."""
+    s = Scheduler()
+    s.COMPACT_MIN = 4
+    fired = []
+    keep = [s.call_at(1.0, fired.append, tag) for tag in "abcde"]
+    doomed = [s.call_at(1.0, fired.append, f"x{i}") for i in range(20)]
+    for timer in doomed:
+        timer.cancel()
+    assert s.compactions > 0
+    s.run()
+    assert fired == list("abcde")
+    assert all(t.fired for t in keep)
+
+
+def test_pending_correct_through_pop_of_cancelled_entries():
+    """Cancelled entries popped organically (no compaction) must keep the
+    O(1) pending count in sync."""
+    s = Scheduler()
+    s.compaction_enabled = False
+    keep = s.call_later(2.0, lambda: None)
+    victim = s.call_later(1.0, lambda: None)
+    victim.cancel()
+    assert s.pending == 1
+    s.run()
+    assert s.pending == 0
+    assert keep.fired
+
+
+def _punched_fingerprint(compaction_enabled):
+    """Same-seed UDP punch run (jitter + loss), fingerprinted.
+
+    The protocol alone cancels too few timers to ever cross the compaction
+    threshold, so a scripted mid-run churn burst (identical in both runs)
+    schedules-and-cancels a block of dummy timers — enough dead heap
+    entries to force a rebuild while real deliveries are in flight.
+    """
+    from repro.netsim.chaos import trace_fingerprint
+    from repro.netsim.link import LinkProfile
+    from repro.scenarios import build_two_nats
+
+    sc = build_two_nats(
+        seed=77,
+        backbone_profile=LinkProfile(latency=0.02, jitter=0.01, loss=0.05),
+    )
+    sc.scheduler.compaction_enabled = compaction_enabled
+    sc.net.trace.enable()
+    for client in sc.clients.values():
+        client.register_udp(max_tries=8)
+    sc.wait_for(lambda: all(c.udp_registered for c in sc.clients.values()), 15.0)
+
+    def churn():
+        batch = [sc.scheduler.call_later(60.0, lambda: None) for _ in range(256)]
+        for timer in batch[:224]:
+            timer.cancel()
+
+    sc.scheduler.call_later(0.05, churn)
+    done = {}
+    sc.clients["A"].connect_udp(
+        2,
+        on_session=lambda session: done.setdefault("s", session),
+        on_failure=lambda err: done.setdefault("f", err),
+    )
+    sc.scheduler.run_while(lambda: not done, sc.scheduler.now + 20.0)
+    return trace_fingerprint(sc.net), sc.scheduler.compactions
+
+
+def test_same_seed_trace_identical_with_and_without_compaction():
+    """Compaction is pure bookkeeping: compaction enabled and disabled must
+    replay byte-identical wire traces for the same seed."""
+    baseline, _ = _punched_fingerprint(compaction_enabled=False)
+    compacted, compactions = _punched_fingerprint(compaction_enabled=True)
+    assert compactions > 0, "scenario never compacted; test proves nothing"
+    assert compacted == baseline

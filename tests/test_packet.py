@@ -59,12 +59,29 @@ def test_packet_ids_unique():
     assert p1.packet_id != p2.packet_id
 
 
-def test_copy_is_independent():
-    p = tcp_packet(A, B, TcpFlags.SYN, seq=1)
+def test_copy_top_level_fields_independent():
+    """copy() is copy-on-write: the NAT-rewritable fields (src/dst/ttl/
+    payload) are per-clone, while header objects are shared and treated as
+    immutable (a translator attaches a fresh header rather than writing
+    through the shared one)."""
+    p = tcp_packet(A, B, TcpFlags.SYN, seq=1, payload=b"old")
     q = p.copy()
     q.src = Endpoint("1.2.3.4", 9)
-    q.tcp.seq = 99
-    assert p.src == A and p.tcp.seq == 1
+    q.dst = Endpoint("5.6.7.8", 10)
+    q.ttl = 3
+    q.payload = b"new"
+    assert p.src == A and p.dst == B and p.ttl == 64 and p.payload == b"old"
+    assert q.tcp is p.tcp  # shared-by-contract, never mutated in place
+
+
+def test_copy_preserves_values_and_allocates_id():
+    p = tcp_packet(A, B, TcpFlags.SYN | TcpFlags.ACK, seq=7, ack=9, payload=b"z")
+    q = p.copy()
+    assert (q.proto, q.src, q.dst, q.payload, q.ttl) == (
+        p.proto, p.src, p.dst, p.payload, p.ttl
+    )
+    assert (q.tcp.flags, q.tcp.seq, q.tcp.ack) == (p.tcp.flags, p.tcp.seq, p.tcp.ack)
+    assert q.packet_id != p.packet_id
 
 
 def test_size_estimates():
