@@ -13,9 +13,13 @@ Records:
     NAT-echo workloads plus the serial Table 1 fleet wall time.
 
 ``BENCH_perf.json``
-    The perf-overhaul record: scheduler events/s, NAT packets/s, and the
-    serial-vs-parallel Table 1 fleet comparison (wall seconds for
-    ``workers=1`` and ``workers=N``, the speedup factor, and N).
+    The perf-overhaul record: scheduler events/s, NAT packets/s, the
+    serial-vs-parallel Table 1 fleet comparison (``requested_workers`` vs
+    ``effective_workers``; the parallel timing and ``speedup`` are omitted
+    when the host collapses the pool to serial), the fingerprint-cache
+    cold/warm comparison (``table1_cached_wall_seconds``,
+    ``dedup_distinct_fingerprints``), and the 100k-device
+    ``scaled_population`` record.
 
 Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--quick] [--only NAME]
 """
@@ -27,12 +31,19 @@ import json
 import os
 import platform
 import sys
+import tempfile
 import time
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Union
 
+from repro.cache import ResultCache
 from repro.nat import behavior as B
 from repro.nat.device import NatDevice
-from repro.natcheck.fleet import VENDOR_SPECS, resolve_workers, run_fleet
+from repro.natcheck.fleet import (
+    VENDOR_SPECS,
+    resolve_workers,
+    run_fleet,
+    scale_population,
+)
 from repro.netsim.addresses import Endpoint
 from repro.netsim.clock import Scheduler
 from repro.netsim.link import LAN_LINK
@@ -114,10 +125,12 @@ def bench_packets(packets: int = 5_000) -> dict:
     return prof.to_dict()
 
 
-def _timed_fleet(quick: bool, workers: int) -> dict:
+def _timed_fleet(
+    quick: bool, workers: int, cache: Union[bool, None, ResultCache] = False
+) -> dict:
     specs = VENDOR_SPECS[:2] if quick else VENDOR_SPECS
     started = time.perf_counter()
-    fleet = run_fleet(specs=specs, seed=42, workers=workers)
+    fleet = run_fleet(specs=specs, seed=42, workers=workers, cache=cache)
     wall = time.perf_counter() - started
     return {
         "wall_seconds": wall,
@@ -125,41 +138,120 @@ def _timed_fleet(quick: bool, workers: int) -> dict:
         "devices_per_second": fleet.total_devices / wall if wall > 0 else 0.0,
         "quick": quick,
         "rows": [report.summary() for report in fleet.all_reports()],
+        "cache_stats": fleet.cache.to_dict() if fleet.cache else None,
     }
 
 
 def bench_fleet(quick: bool = False) -> dict:
-    """Wall time of the Table 1 fleet — the workload users actually wait on."""
-    record = dict(_timed_fleet(quick, workers=1))
+    """Wall time of the uncached serial Table 1 fleet — the raw-simulation
+    baseline every cache/parallel speedup is measured against."""
+    record = dict(_timed_fleet(quick, workers=1, cache=False))
     record.pop("rows")
+    record.pop("cache_stats")
     return record
 
 
 def bench_fleet_parallel(quick: bool = False) -> dict:
-    """Serial vs parallel Table 1 fleet: the tentpole's headline number.
+    """Serial vs parallel Table 1 fleet, with the fingerprint cache off so
+    the pool is dividing real simulation work.
 
     Both runs must produce identical report summaries — the parallel path is
     only allowed to be a speedup, never a behaviour change — so the rows are
-    compared before the timing record is returned.
+    compared before the timing record is returned.  ``requested_workers``
+    records what we asked for (all cores); ``effective_workers`` what the
+    host delivers.  On a single-core host they collapse to serial, in which
+    case the parallel run and the (meaningless) ``speedup`` are omitted
+    rather than reported as ``workers: 1, speedup: ~1``.
     """
-    workers = resolve_workers(0)  # all cores
+    requested = resolve_workers(0)  # all cores
     serial = _timed_fleet(quick, workers=1)
-    parallel = _timed_fleet(quick, workers=workers)
+    effective = requested if requested > 1 else 1
+    record = {
+        "devices": serial["devices"],
+        "serial_wall_seconds": serial["wall_seconds"],
+        "requested_workers": requested,
+        "effective_workers": effective,
+        "quick": quick,
+    }
+    if effective == 1:
+        return record
+    parallel = _timed_fleet(quick, workers=effective)
     assert serial["rows"] == parallel["rows"], "parallel fleet diverged from serial"
-    speedup = (
+    record["parallel_wall_seconds"] = parallel["wall_seconds"]
+    record["speedup"] = (
         serial["wall_seconds"] / parallel["wall_seconds"]
         if parallel["wall_seconds"] > 0
         else 0.0
     )
+    record["rows_identical"] = True
+    return record
+
+
+def bench_fleet_cached(quick: bool = False) -> dict:
+    """Cold vs warm Table 1 through the fingerprint cache (fresh store).
+
+    The cold run dedups in-run (one simulation per distinct fingerprint) and
+    populates a throwaway store; the warm run serves every fingerprint from
+    disk.  Reports must stay identical run to run — the cache is only
+    allowed to be a speedup.
+    """
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cold = _timed_fleet(quick, workers=1, cache=ResultCache(tmp))
+        warm = _timed_fleet(quick, workers=1, cache=ResultCache(tmp))
+    assert cold["rows"] == warm["rows"], "cached fleet diverged between runs"
+    warm_wall = warm["wall_seconds"]
     return {
-        "devices": serial["devices"],
-        "serial_wall_seconds": serial["wall_seconds"],
-        "parallel_wall_seconds": parallel["wall_seconds"],
-        "workers": workers,
-        "speedup": speedup,
+        "devices": cold["devices"],
+        "cold_wall_seconds": cold["wall_seconds"],
+        "table1_cached_wall_seconds": warm_wall,
+        "warm_speedup": cold["wall_seconds"] / warm_wall if warm_wall > 0 else 0.0,
+        "dedup_distinct_fingerprints": cold["cache_stats"]["distinct_fingerprints"],
+        "cold_stats": cold["cache_stats"],
+        "warm_stats": warm["cache_stats"],
         "rows_identical": True,
         "quick": quick,
     }
+
+
+#: Scale factor that pushes the 380-device fleet past 100k devices.
+SCALED_FACTOR = 264
+
+
+def bench_scaled_population(quick: bool = False, serial_wall: Optional[float] = None) -> dict:
+    """A 100k-device synthetic survey, tractable only because of dedup.
+
+    The acceptance bar: the scaled population's full survey (fleet run plus
+    Table 1 aggregation) completes in less wall time than the *uncached*
+    380-device serial run on the same host (``serial_wall``).
+    """
+    from repro.natcheck.table import table1_rows
+
+    factor = 8 if quick else SCALED_FACTOR
+    specs = scale_population(factor)
+    started = time.perf_counter()
+    fleet = run_fleet(specs=specs, seed=42, cache=None)
+    survey_wall = time.perf_counter() - started
+    started = time.perf_counter()
+    rows = {row.vendor: row for row in table1_rows(fleet.reports)}
+    aggregate_wall = time.perf_counter() - started
+    totals = rows["All Vendors"]
+    record = {
+        "devices": fleet.total_devices,
+        "scale_factor": factor,
+        "wall_seconds": survey_wall,
+        "aggregate_wall_seconds": aggregate_wall,
+        "devices_per_second": (
+            fleet.total_devices / survey_wall if survey_wall > 0 else 0.0
+        ),
+        "distinct_fingerprints": fleet.cache.distinct_fingerprints,
+        "udp_total": list(totals.udp),
+        "tcp_total": list(totals.tcp),
+        "quick": quick,
+    }
+    if serial_wall is not None:
+        record["serial_380_wall_seconds"] = serial_wall
+        record["under_serial_380"] = survey_wall + aggregate_wall < serial_wall
+    return record
 
 
 # -- emitters ----------------------------------------------------------------
@@ -195,6 +287,14 @@ def emit_perf(ctx: BenchContext) -> dict:
     record["table1_fleet"] = ctx.get(
         "fleet_parallel", lambda: bench_fleet_parallel(quick=ctx.quick)
     )
+    record["table1_cache"] = ctx.get(
+        "fleet_cached", lambda: bench_fleet_cached(quick=ctx.quick)
+    )
+    serial_wall = record["table1_fleet"]["serial_wall_seconds"]
+    record["scaled_population"] = ctx.get(
+        "scaled_population",
+        lambda: bench_scaled_population(quick=ctx.quick, serial_wall=serial_wall),
+    )
     return record
 
 
@@ -225,10 +325,27 @@ def main(argv=None) -> int:
         fleet = perf["table1_fleet"]
         print(f"  scheduler: {perf['scheduler_events_per_second']:,.0f} events/s")
         print(f"  nat echo:  {perf['nat_packets_per_second']:,.0f} packets/s")
+        if "speedup" in fleet:
+            print(
+                "  fleet:     {devices} devices, serial {serial_wall_seconds:.2f}s, "
+                "parallel {parallel_wall_seconds:.2f}s x{effective_workers} "
+                "(speedup {speedup:.2f})".format(**fleet)
+            )
+        else:
+            print(
+                "  fleet:     {devices} devices, serial {serial_wall_seconds:.2f}s "
+                "(single-core host; parallel run skipped)".format(**fleet)
+            )
+        cached = perf["table1_cache"]
         print(
-            "  fleet:     {devices} devices, serial {serial_wall_seconds:.2f}s, "
-            "parallel {parallel_wall_seconds:.2f}s x{workers} "
-            "(speedup {speedup:.2f})".format(**fleet)
+            "  cache:     cold {cold_wall_seconds:.3f}s, warm "
+            "{table1_cached_wall_seconds:.3f}s (x{warm_speedup:.1f}), "
+            "{dedup_distinct_fingerprints} distinct fingerprints".format(**cached)
+        )
+        scaled = perf["scaled_population"]
+        print(
+            "  scaled:    {devices} devices in {wall_seconds:.2f}s "
+            "({distinct_fingerprints} simulations)".format(**scaled)
         )
     return 0
 

@@ -14,6 +14,8 @@ from typing import Callable, List
 from repro.nat import behavior as B
 from repro.natcheck.fleet import run_fleet
 from repro.natcheck.table import render_latency_appendix, render_table1
+from repro.obs.export import summarize_for_report
+from repro.obs.metrics import MetricsRegistry
 from repro.scenarios.figures import (
     run_figure1,
     run_figure2,
@@ -84,10 +86,16 @@ def generate_report(seed: int = 7, quick: bool = False) -> str:
     )
     if not quick:
         started = time.monotonic()
-        fleet = run_fleet(seed=42)
+        fleet_metrics = MetricsRegistry()
+        fleet = run_fleet(seed=42, metrics=fleet_metrics)
         table = render_table1(fleet.reports)
         totals_ok = "310/380 (82%)" in table and "184/286 (64%)" in table
         body = table + "\n\n" + render_latency_appendix(fleet.reports)
+        if fleet.cache is not None:
+            body += "\n\n" + fleet.cache.summary()
+        cache_lines = summarize_for_report(fleet_metrics)
+        if cache_lines:
+            body += "\n" + "\n".join(cache_lines)
         sections.append(
             ReportSection(
                 title=f"Table 1: NAT Check fleet ({fleet.total_devices} devices)",

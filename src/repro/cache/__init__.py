@@ -1,0 +1,46 @@
+"""repro.cache — content-addressed simulation result caching.
+
+The performance layer that makes repeated work free (the regime large-scale
+NAT traversal measurement studies operate in): a deterministic **behavioral
+fingerprint** keys every simulation by everything that can influence its
+outcome, an in-run dedup collapses behaviourally identical devices to one
+simulation each, and an on-disk :class:`ResultCache` persists results across
+runs, self-invalidating whenever the protocol-suite sources change.
+
+See ``docs/performance.md`` ("Caching & dedup") for the fingerprint recipe
+and the invalidation rules; :mod:`repro.natcheck.fleet` is the main client.
+"""
+
+from repro.cache.fingerprint import (
+    SUITE_PACKAGES,
+    Fingerprint,
+    behavior_fingerprint,
+    canonical_json,
+    canonicalize,
+    hash_sources,
+    mix_seed,
+    suite_sources,
+    suite_version,
+)
+from repro.cache.store import (
+    CACHE_DIR_ENV,
+    RECORD_FORMAT,
+    ResultCache,
+    default_cache_dir,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "Fingerprint",
+    "RECORD_FORMAT",
+    "ResultCache",
+    "SUITE_PACKAGES",
+    "behavior_fingerprint",
+    "canonical_json",
+    "canonicalize",
+    "default_cache_dir",
+    "hash_sources",
+    "mix_seed",
+    "suite_sources",
+    "suite_version",
+]

@@ -10,12 +10,15 @@ from repro.natcheck.classify import NatCheckReport
 from repro.natcheck.client import NatCheckClient, NatCheckConfig
 from repro.natcheck.discovery import DiscoveryResult, NatDiscovery
 from repro.natcheck.fleet import (
+    FleetCacheStats,
     FleetResult,
     VendorSpec,
     VENDOR_SPECS,
+    device_fingerprint,
     device_seed,
     resolve_workers,
     run_fleet,
+    scale_population,
 )
 from repro.natcheck.servers import NatCheckServers
 from repro.natcheck.table import Table1Row, render_table1, table1_rows
@@ -26,12 +29,15 @@ __all__ = [
     "NatCheckReport",
     "NatCheckClient",
     "NatCheckConfig",
+    "FleetCacheStats",
     "FleetResult",
     "VendorSpec",
     "VENDOR_SPECS",
+    "device_fingerprint",
     "device_seed",
     "resolve_workers",
     "run_fleet",
+    "scale_population",
     "NatCheckServers",
     "Table1Row",
     "render_table1",

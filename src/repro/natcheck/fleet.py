@@ -24,10 +24,10 @@ the paper by that same margin; EXPERIMENTS.md discusses it.
 from __future__ import annotations
 
 import os
-import zlib
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.cache import Fingerprint, ResultCache, behavior_fingerprint, mix_seed
 from repro.nat.behavior import NatBehavior
 from repro.nat.device import NatDevice
 from repro.nat.policy import MappingPolicy, TcpRefusalPolicy
@@ -36,6 +36,7 @@ from repro.natcheck.client import NatCheckClient, NatCheckConfig
 from repro.natcheck.servers import NatCheckServers
 from repro.netsim.link import BACKBONE_LINK, LAN_LINK
 from repro.netsim.network import Network
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.stack import attach_stack
 
 Count = Tuple[int, int]  # (supporting, reporting)
@@ -89,6 +90,29 @@ VENDOR_SPECS: Tuple[VendorSpec, ...] = (
     VendorSpec("FreeBSD", (7, 9), (3, 6), (2, 3), (1, 1)),
     VendorSpec("(other)", (100, 131), (32, 114), (57, 94), (0, 94)),
 )
+
+
+def scale_population(factor: int, specs: Sequence[VendorSpec] = VENDOR_SPECS) -> Tuple[VendorSpec, ...]:
+    """A synthetic population *factor* times the size of *specs*.
+
+    Every column count is multiplied, so the scaled fleet preserves the
+    per-vendor behaviour mix exactly (each Table 1 percentage is unchanged)
+    while the device count grows — ``scale_population(264)`` turns the
+    380-device fleet into 100,320 devices.  The behavioural variety does
+    *not* grow with the factor, which is precisely why the fingerprint
+    dedup makes such populations tractable: the distinct-simulation count
+    stays a few dozen regardless of scale.
+    """
+    if factor < 1:
+        raise ValueError(f"scale factor must be >= 1, got {factor}")
+
+    def mul(count: Count) -> Count:
+        return (count[0] * factor, count[1] * factor)
+
+    return tuple(
+        VendorSpec(s.name, mul(s.udp), mul(s.udp_hairpin), mul(s.tcp), mul(s.tcp_hairpin))
+        for s in specs
+    )
 
 
 def device_behavior(spec: VendorSpec, index: int) -> NatBehavior:
@@ -182,10 +206,68 @@ def check_device(
 
 
 @dataclass
+class FleetCacheStats:
+    """What the fingerprint cache did during one :func:`run_fleet` call."""
+
+    enabled: bool = True
+    persistent: bool = False
+    devices: int = 0
+    #: Distinct behavioral fingerprints in the population (the number of
+    #: simulations a fully cold, dedup'd run performs).
+    distinct_fingerprints: int = 0
+    #: Simulations actually executed this run.
+    simulated: int = 0
+    #: Reports produced by cloning an in-run result instead of simulating.
+    dedup_clones: int = 0
+    #: Distinct fingerprints served from the persistent store.
+    disk_hits: int = 0
+    disk_misses: int = 0
+    #: Stale records found on disk (code change since they were written).
+    invalidations: int = 0
+    #: Records written to the persistent store this run.
+    stores: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    def publish(self, metrics: MetricsRegistry) -> None:
+        """Flow the counts into a :mod:`repro.obs` registry
+        (``fleet.cache.*`` counters, picked up by the analysis report)."""
+        if not self.enabled:
+            metrics.counter("fleet.cache.disabled").inc()
+            return
+        for name in (
+            "distinct_fingerprints",
+            "simulated",
+            "dedup_clones",
+            "disk_hits",
+            "disk_misses",
+            "invalidations",
+            "stores",
+        ):
+            metrics.counter(f"fleet.cache.{name}").inc(getattr(self, name))
+
+    def summary(self) -> str:
+        if not self.enabled:
+            return f"cache disabled: {self.devices} devices simulated individually"
+        parts = [
+            f"{self.distinct_fingerprints} distinct fingerprints",
+            f"{self.simulated} simulated",
+            f"{self.dedup_clones} dedup clones",
+        ]
+        if self.persistent:
+            parts.append(f"{self.disk_hits} disk hits")
+            if self.invalidations:
+                parts.append(f"{self.invalidations} invalidated")
+        return f"cache: {self.devices} devices -> " + ", ".join(parts)
+
+
+@dataclass
 class FleetResult:
     """All reports, grouped by vendor, plus failure bookkeeping."""
 
     reports: Dict[str, List[NatCheckReport]] = field(default_factory=dict)
+    cache: Optional[FleetCacheStats] = None
 
     @property
     def total_devices(self) -> int:
@@ -214,11 +296,39 @@ FLEET_CHUNK = 16
 def device_seed(seed: int, vendor: str, index: int) -> int:
     """Stable per-device seed: same fleet for the same *seed*, everywhere.
 
-    Uses ``zlib.crc32`` rather than ``hash()`` — the builtin string hash is
+    Uses ``zlib.crc32`` (via :func:`repro.cache.mix_seed`, the shared
+    derivation recipe) rather than ``hash()`` — the builtin string hash is
     randomized per interpreter by ``PYTHONHASHSEED``, which would silently
     break "same seed => same fleet" across runs and across pool workers.
+
+    Note: since the behavioral-fingerprint cache, fleet simulations are
+    seeded by :func:`device_fingerprint` — the same crc32 mix, but over the
+    device's behavioural content instead of its identity, so behaviourally
+    identical devices replay the *identical* simulation (the property that
+    makes dedup and result caching provably sound).  ``device_seed`` remains
+    the derivation for callers who want unique-per-device seeds.
     """
-    return seed * 1_000_003 + zlib.crc32(f"{vendor}:{index}".encode()) % 1_000_000
+    return mix_seed(seed, f"{vendor}:{index}")
+
+
+def device_fingerprint(
+    behavior: NatBehavior, config: NatCheckConfig, seed: int
+) -> Fingerprint:
+    """The behavioral fingerprint of one :func:`check_device` run.
+
+    Covers everything that can influence the outcome: the behaviour axes,
+    the NAT Check test config (which tests run, their ports and timers), the
+    link profiles :func:`check_device` wires up, the run seed (folded into
+    the derived simulation seed), and — inside the fingerprint — the
+    protocol-suite version hash, so results self-invalidate on code change.
+    """
+    return behavior_fingerprint(
+        seed=seed,
+        behavior=behavior,
+        config=config,
+        backbone_link=BACKBONE_LINK,
+        lan_link=LAN_LINK,
+    )
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -234,11 +344,10 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 def _check_one(spec: VendorSpec, seed: int, index: int) -> NatCheckReport:
-    report = check_device(
-        device_behavior(spec, index),
-        device_config(spec, index),
-        seed=device_seed(seed, spec.name, index),
-    )
+    behavior = device_behavior(spec, index)
+    config = device_config(spec, index)
+    fingerprint = device_fingerprint(behavior, config, seed)
+    report = check_device(behavior, config, seed=fingerprint.seed)
     report.vendor = spec.name
     report.device = f"{spec.name}-{index}"
     return report
@@ -267,25 +376,80 @@ def _chunk_tasks(
     return tasks
 
 
-def run_fleet(
-    specs: Tuple[VendorSpec, ...] = VENDOR_SPECS,
-    seed: int = 0,
-    progress: Optional[Callable[[str, int, int], None]] = None,
-    workers: Optional[int] = None,
-    _runner: Callable[[VendorSpec, int, int, int], List[NatCheckReport]] = _check_range,
-) -> FleetResult:
-    """Run NAT Check against the whole synthetic fleet (Table 1's workload).
+def _plan_fleet(
+    specs: Sequence[VendorSpec], seed: int
+) -> Tuple[List[List[Fingerprint]], Dict[str, Tuple[int, int, Fingerprint]]]:
+    """Fingerprint every device without simulating anything.
 
-    With ``workers > 1`` (or ``REPRO_FLEET_WORKERS`` set), device runs fan
-    out over a :class:`~concurrent.futures.ProcessPoolExecutor` in
-    vendor-sliced chunks.  Every device is an isolated simulation with a
-    seed derived by :func:`device_seed`, so parallel and serial runs return
-    identical :class:`FleetResult`\\ s — report for report, in the same
-    order.  *progress* always runs in the calling process (per device when
-    serial, per completed chunk when parallel); a worker exception
-    propagates to the caller after cancelling the remaining tasks.
+    Returns ``(plan, representatives)``: ``plan[position][index]`` is the
+    device's fingerprint, and ``representatives`` maps each distinct
+    ``Fingerprint.full`` to the first ``(position, index, fingerprint)``
+    carrying it — the one device actually simulated on a cold run.
+
+    Devices are memoised by the boolean threshold key that fully determines
+    :func:`device_behavior` + :func:`device_config` (the column slicing
+    comparisons plus the fail-mode parity), so planning a 100k-device scaled
+    population costs a tuple build and a dict hit per device, not a
+    dataclass construction and a sha256.
+    ``tests/test_cache_soundness.py::test_plan_matches_direct_fingerprints``
+    pins the memo key against the direct derivation.
     """
-    effective = resolve_workers(workers)
+    plan: List[List[Fingerprint]] = []
+    representatives: Dict[str, Tuple[int, int, Fingerprint]] = {}
+    for position, spec in enumerate(specs):
+        combos: Dict[Tuple[bool, ...], Fingerprint] = {}
+        row: List[Fingerprint] = []
+        udp_n = spec.udp[0]
+        udp_hp_n, udp_hp_d = spec.udp_hairpin
+        tcp_n, tcp_d = spec.tcp
+        tcp_hp_n, tcp_hp_d = spec.tcp_hairpin
+        for index in range(spec.population):
+            key = (
+                index < udp_n,
+                index < udp_hp_n,
+                index < udp_hp_d,
+                index < tcp_n,
+                index < tcp_d,
+                index < tcp_hp_n,
+                index < tcp_hp_d,
+                index % 2 == 0,
+            )
+            fingerprint = combos.get(key)
+            if fingerprint is None:
+                behavior = device_behavior(spec, index)
+                config = device_config(spec, index)
+                fingerprint = combos[key] = device_fingerprint(behavior, config, seed)
+                representatives.setdefault(
+                    fingerprint.full, (position, index, fingerprint)
+                )
+            row.append(fingerprint)
+        plan.append(row)
+    return plan, representatives
+
+
+def _clone_report(base: NatCheckReport, vendor: str, device: str) -> NatCheckReport:
+    """A per-device copy of a shared result with its identity rewritten.
+
+    Bypasses ``__init__`` (instance-dict copy) because a scaled population
+    clones hundreds of thousands of reports; every field except the identity
+    pair is byte-identical to the base simulation's, which is exactly the
+    soundness contract the tier-1 cache tests assert.
+    """
+    clone = NatCheckReport.__new__(NatCheckReport)
+    clone.__dict__.update(base.__dict__)
+    clone.__dict__["vendor"] = vendor
+    clone.__dict__["device"] = device
+    return clone
+
+
+def _run_fleet_nocache(
+    specs: Sequence[VendorSpec],
+    seed: int,
+    progress: Optional[Callable[[str, int, int], None]],
+    effective: int,
+    _runner: Callable[[VendorSpec, int, int, int], List[NatCheckReport]],
+) -> FleetResult:
+    """The ``--no-cache`` path: simulate every device individually."""
     result = FleetResult()
     if effective == 1:
         for spec in specs:
@@ -328,4 +492,146 @@ def run_fleet(
         for start in range(0, spec.population, FLEET_CHUNK):
             vendor_reports.extend(chunks[(position, start)])
         result.reports[spec.name] = vendor_reports
+    return result
+
+
+def _run_fleet_dedup(
+    specs: Sequence[VendorSpec],
+    seed: int,
+    progress: Optional[Callable[[str, int, int], None]],
+    effective: int,
+    store: Optional[ResultCache],
+    _runner: Callable[[VendorSpec, int, int, int], List[NatCheckReport]],
+) -> FleetResult:
+    """The cached path: one simulation per distinct fingerprint, then clone."""
+    plan, representatives = _plan_fleet(specs, seed)
+    total = sum(spec.population for spec in specs)
+    stats = FleetCacheStats(
+        enabled=True,
+        persistent=store is not None,
+        devices=total,
+        distinct_fingerprints=len(representatives),
+    )
+
+    # Resolve each distinct fingerprint: persistent store first, then a
+    # simulation of the representative device.
+    reports_by_fp: Dict[str, NatCheckReport] = {}
+    todo: List[Tuple[int, int, Fingerprint]] = []
+    if store is not None:
+        before = store.stats()
+    for full, (position, index, fingerprint) in representatives.items():
+        record = store.get(fingerprint) if store is not None else None
+        if record is not None:
+            reports_by_fp[full] = NatCheckReport.from_dict(record["report"])
+        else:
+            todo.append((position, index, fingerprint))
+    if store is not None:
+        after = store.stats()
+        stats.disk_hits = after["hits"] - before["hits"]
+        stats.disk_misses = after["misses"] - before["misses"]
+        stats.invalidations = after["invalidations"] - before["invalidations"]
+
+    if todo:
+        if effective == 1 or len(todo) == 1:
+            for position, index, fingerprint in todo:
+                reports_by_fp[fingerprint.full] = _runner(
+                    specs[position], seed, index, index + 1
+                )[0]
+        else:
+            from concurrent.futures import ProcessPoolExecutor, as_completed
+
+            with ProcessPoolExecutor(max_workers=min(effective, len(todo))) as pool:
+                futures = {
+                    pool.submit(_runner, specs[position], seed, index, index + 1): (
+                        fingerprint.full
+                    )
+                    for position, index, fingerprint in todo
+                }
+                try:
+                    for future in as_completed(futures):
+                        reports_by_fp[futures[future]] = future.result()[0]
+                except BaseException:
+                    for future in futures:
+                        future.cancel()
+                    raise
+        if store is not None:
+            stores_before = store.stores
+            for position, index, fingerprint in todo:
+                store.put(
+                    fingerprint,
+                    reports_by_fp[fingerprint.full].to_dict(),
+                    meta={"vendor": specs[position].name, "index": index},
+                )
+            stats.stores = store.stores - stores_before
+    stats.simulated = len(todo)
+    stats.dedup_clones = total - len(representatives)
+
+    result = FleetResult(cache=stats)
+    for position, spec in enumerate(specs):
+        row = plan[position]
+        prefix = spec.name + "-"
+        population = spec.population
+        vendor_reports = [
+            _clone_report(reports_by_fp[row[index].full], spec.name, prefix + str(index))
+            for index in range(population)
+        ]
+        result.reports[spec.name] = vendor_reports
+        if progress is not None:
+            progress(spec.name, population, population)
+    return result
+
+
+def run_fleet(
+    specs: Tuple[VendorSpec, ...] = VENDOR_SPECS,
+    seed: int = 0,
+    progress: Optional[Callable[[str, int, int], None]] = None,
+    workers: Optional[int] = None,
+    cache: Union[bool, None, ResultCache] = True,
+    metrics: Optional[MetricsRegistry] = None,
+    _runner: Callable[[VendorSpec, int, int, int], List[NatCheckReport]] = _check_range,
+) -> FleetResult:
+    """Run NAT Check against the whole synthetic fleet (Table 1's workload).
+
+    The *cache* knob controls the behavioral-fingerprint layer:
+
+    * ``True`` (default) — in-run dedup **and** the persistent on-disk store
+      (``$REPRO_CACHE_DIR`` / ``~/.cache/repro``): devices with identical
+      fingerprints are simulated once and their reports cloned with the
+      identity fields rewritten, and distinct results persist across runs;
+    * a :class:`~repro.cache.ResultCache` — dedup plus that specific store;
+    * ``None`` — in-run dedup only, nothing touches disk;
+    * ``False`` — the ``--no-cache`` path: every device simulated
+      individually (the soundness baseline the tier-1 cache tests compare
+      against).
+
+    All paths derive each simulation's seed from the device's behavioral
+    fingerprint, so the cached and uncached paths produce field-for-field
+    identical :class:`FleetResult`\\ s, in the same order.
+
+    With ``workers > 1`` (or ``REPRO_FLEET_WORKERS`` set) simulations fan
+    out over a :class:`~concurrent.futures.ProcessPoolExecutor` — vendor-
+    sliced chunks when uncached, one task per distinct fingerprint when
+    dedup'd — with identical results either way.  *progress* always runs in
+    the calling process; a worker exception propagates to the caller after
+    cancelling the remaining tasks.  When *metrics* is given, the run's
+    cache counters are published as ``fleet.cache.*``.
+    """
+    effective = resolve_workers(workers)
+    if cache is False:
+        result = _run_fleet_nocache(specs, seed, progress, effective, _runner)
+        result.cache = FleetCacheStats(
+            enabled=False,
+            devices=result.total_devices,
+            simulated=result.total_devices,
+        )
+    else:
+        if isinstance(cache, ResultCache):
+            store: Optional[ResultCache] = cache
+        elif cache is True:
+            store = ResultCache()
+        else:
+            store = None
+        result = _run_fleet_dedup(specs, seed, progress, effective, store, _runner)
+    if metrics is not None and result.cache is not None:
+        result.cache.publish(metrics)
     return result

@@ -121,7 +121,9 @@ def summarize_values(values: Sequence[float], unit: str = "s") -> str:
 
 
 #: Counter prefixes surfaced by the compact per-section report summary.
-_REPORT_PREFIXES = ("punch.", "session.", "relay.", "nat.drops", "tcp.syn")
+#: ``fleet.cache.`` carries the Table 1 dedup/persistence counters (hits,
+#: misses, invalidations) published by ``run_fleet(metrics=...)``.
+_REPORT_PREFIXES = ("punch.", "session.", "relay.", "nat.drops", "tcp.syn", "fleet.cache.")
 
 
 def summarize_for_report(registry: MetricsRegistry) -> List[str]:

@@ -1,0 +1,180 @@
+"""Cache soundness: cached, cloned, and fresh fleet results are identical.
+
+The behavioral-fingerprint cache is only admissible if it is invisible in
+the results: a Table 1 produced by dedup + cloning, by the persistent
+store, or by simulating all 380 devices individually must be
+field-for-field the same.  These tests pin that contract, the planner's
+memoisation, the version-hash invalidation path, and the metrics flow —
+plus the headline perf claims (warm >= 5x, 100k devices under the
+380-device serial wall).
+"""
+
+import time
+
+import pytest
+
+from repro.cache import ResultCache
+from repro.cache import fingerprint as fingerprint_mod
+from repro.natcheck.classify import NatCheckReport
+from repro.natcheck.fleet import (
+    VENDOR_SPECS,
+    VendorSpec,
+    _plan_fleet,
+    device_behavior,
+    device_config,
+    device_fingerprint,
+    run_fleet,
+    scale_population,
+)
+from repro.natcheck.table import table1_rows
+from repro.obs.export import summarize_for_report
+from repro.obs.metrics import MetricsRegistry
+
+#: Compact population exercising every Table 1 column and both TCP fail
+#: modes (the index-parity branch) without 380 simulations per test.
+SMALL_SPECS = (
+    VendorSpec("Linksys", (18, 20), (4, 18), (12, 15), (2, 15)),
+    VendorSpec("Windows", (5, 6), (2, 6), (3, 5), (4, 5)),
+)
+
+
+def _dicts(result):
+    """Every report as a plain dict, in deterministic fleet order."""
+    return [r.to_dict() for r in result.all_reports()]
+
+
+def test_report_dict_roundtrip():
+    report = run_fleet(SMALL_SPECS[:1], seed=3, cache=None).all_reports()[0]
+    clone = NatCheckReport.from_dict(report.to_dict())
+    assert clone.to_dict() == report.to_dict()
+    assert clone.udp_ep1 == report.udp_ep1  # Endpoints rebuilt, not lists
+
+
+def test_plan_matches_direct_fingerprints():
+    """The planner's boolean memo key must be exactly as discriminating as
+    the full derivation: for every device of the real fleet, the planned
+    fingerprint equals device_fingerprint(behavior, config, seed)."""
+    plan, representatives = _plan_fleet(VENDOR_SPECS, seed=42)
+    for position, spec in enumerate(VENDOR_SPECS):
+        for index in range(spec.population):
+            direct = device_fingerprint(
+                device_behavior(spec, index), device_config(spec, index), 42
+            )
+            assert plan[position][index] == direct, (spec.name, index)
+    planned_fulls = {fp.full for row in plan for fp in row}
+    assert set(representatives) == planned_fulls
+
+
+def test_dedup_equals_nocache_field_for_field():
+    baseline = run_fleet(SMALL_SPECS, seed=11, cache=False)
+    dedup = run_fleet(SMALL_SPECS, seed=11, cache=None)
+    assert list(baseline.reports) == list(dedup.reports)
+    assert _dicts(baseline) == _dicts(dedup)
+    assert dedup.cache.simulated == dedup.cache.distinct_fingerprints
+    assert dedup.cache.dedup_clones == 26 - dedup.cache.distinct_fingerprints
+    assert baseline.cache.enabled is False
+
+
+def test_persistent_cache_cold_then_warm_identical(tmp_path):
+    store = ResultCache(tmp_path / "cache")
+    cold = run_fleet(SMALL_SPECS, seed=11, cache=store)
+    assert cold.cache.disk_hits == 0
+    assert cold.cache.stores == cold.cache.distinct_fingerprints
+
+    warm = run_fleet(SMALL_SPECS, seed=11, cache=ResultCache(tmp_path / "cache"))
+    assert warm.cache.simulated == 0
+    assert warm.cache.disk_hits == warm.cache.distinct_fingerprints
+    assert warm.cache.stores == 0
+    assert _dicts(cold) == _dicts(warm)
+
+
+def test_full_fleet_cached_identical_and_5x_faster(tmp_path):
+    """The headline tier-1 guarantee on the real 380-device fleet: the
+    warm cached run reproduces the no-cache Table 1 field-for-field and
+    at least 5x faster (in practice ~50x)."""
+    started = time.perf_counter()
+    baseline = run_fleet(seed=42, cache=False)
+    nocache_wall = time.perf_counter() - started
+
+    store = ResultCache(tmp_path / "cache")
+    run_fleet(seed=42, cache=store)  # cold: populate
+    started = time.perf_counter()
+    warm = run_fleet(seed=42, cache=ResultCache(tmp_path / "cache"))
+    warm_wall = time.perf_counter() - started
+
+    assert _dicts(baseline) == _dicts(warm)
+    assert [r.__dict__ for r in baseline.all_reports()] == [
+        r.__dict__ for r in warm.all_reports()
+    ]
+    assert warm.cache.simulated == 0
+    assert warm.cache.disk_hits == warm.cache.distinct_fingerprints
+    assert nocache_wall >= 5 * warm_wall, (nocache_wall, warm_wall)
+    # And the aggregation downstream agrees (Table 1 rows are derived data).
+    assert table1_rows(baseline.reports) == table1_rows(warm.reports)
+
+
+def test_code_change_invalidates_and_resimulates(tmp_path, monkeypatch):
+    """A protocol-suite version change must invalidate every record: the
+    next run finds the stale files, counts them, re-simulates, and
+    overwrites — and a further run under the new version hits again."""
+    store_root = tmp_path / "cache"
+    cold = run_fleet(SMALL_SPECS, seed=11, cache=ResultCache(store_root))
+    distinct = cold.cache.distinct_fingerprints
+
+    monkeypatch.setattr(fingerprint_mod, "VERSION_SALT", "simulated code change")
+    stale = run_fleet(SMALL_SPECS, seed=11, cache=ResultCache(store_root))
+    assert stale.cache.invalidations == distinct
+    assert stale.cache.disk_hits == 0
+    assert stale.cache.simulated == distinct
+    assert stale.cache.stores == distinct  # overwritten in place
+    assert _dicts(stale) == _dicts(cold)  # same inputs → same results
+
+    fresh = run_fleet(SMALL_SPECS, seed=11, cache=ResultCache(store_root))
+    assert fresh.cache.disk_hits == distinct
+    assert fresh.cache.invalidations == 0
+    assert fresh.cache.simulated == 0
+
+
+def test_cache_counters_flow_into_obs_metrics(tmp_path):
+    metrics = MetricsRegistry()
+    result = run_fleet(
+        SMALL_SPECS, seed=11, cache=ResultCache(tmp_path / "cache"), metrics=metrics
+    )
+    counters = metrics.counters()
+    assert counters["fleet.cache.distinct_fingerprints"] == (
+        result.cache.distinct_fingerprints
+    )
+    assert counters["fleet.cache.simulated"] == result.cache.simulated
+    assert counters["fleet.cache.dedup_clones"] == result.cache.dedup_clones
+    assert counters["fleet.cache.stores"] == result.cache.stores
+    # ...and the analysis report's summary block surfaces them.
+    lines = summarize_for_report(metrics)
+    assert any("fleet.cache.distinct_fingerprints" in line for line in lines)
+
+
+def test_disabled_cache_publishes_disabled_counter():
+    metrics = MetricsRegistry()
+    run_fleet(SMALL_SPECS[:1], seed=1, cache=False, metrics=metrics)
+    assert metrics.counters()["fleet.cache.disabled"] == 1
+
+
+def test_scaled_population_preserves_mix_and_variety():
+    factor = 4
+    scaled = scale_population(factor, SMALL_SPECS)
+    assert sum(s.population for s in scaled) == factor * 26
+    result = run_fleet(scaled, seed=11, cache=None)
+    base = run_fleet(SMALL_SPECS, seed=11, cache=None)
+    # Behavioural variety does not grow with population...
+    assert result.cache.distinct_fingerprints == base.cache.distinct_fingerprints
+    # ...and every Table 1 cell scales exactly (percentages unchanged).
+    for scaled_row, base_row in zip(table1_rows(result.reports), table1_rows(base.reports)):
+        assert scaled_row.vendor == base_row.vendor
+        for column in ("udp", "udp_hairpin", "tcp", "tcp_hairpin"):
+            s_n, s_d = getattr(scaled_row, column)
+            b_n, b_d = getattr(base_row, column)
+            assert (s_n, s_d) == (b_n * factor, b_d * factor)
+
+
+def test_scale_population_rejects_bad_factor():
+    with pytest.raises(ValueError):
+        scale_population(0)

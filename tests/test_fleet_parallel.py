@@ -8,10 +8,13 @@ and a worker crash must surface as an exception, not a hang.
 """
 
 import os
+import subprocess
+import sys
 import zlib
 
 import pytest
 
+import repro
 from repro.natcheck.fleet import (
     FLEET_CHUNK,
     VENDOR_SPECS,
@@ -44,9 +47,10 @@ def _flatten(result):
     ]
 
 
-def test_parallel_equals_serial_report_for_report():
-    serial = run_fleet(SMALL_SPECS, seed=11, workers=1)
-    parallel = run_fleet(SMALL_SPECS, seed=11, workers=2)
+@pytest.mark.parametrize("cache", [False, None], ids=["nocache", "dedup"])
+def test_parallel_equals_serial_report_for_report(cache):
+    serial = run_fleet(SMALL_SPECS, seed=11, workers=1, cache=cache)
+    parallel = run_fleet(SMALL_SPECS, seed=11, workers=2, cache=cache)
     assert list(serial.reports) == list(parallel.reports)  # vendor order
     assert _flatten(serial) == _flatten(parallel)
 
@@ -66,9 +70,13 @@ def _exploding_runner(spec, seed, start, stop):
     raise RuntimeError(f"worker died on {spec.name}[{start}:{stop}]")
 
 
-def test_worker_exception_propagates_instead_of_hanging():
+@pytest.mark.parametrize("cache", [False, None], ids=["nocache", "dedup"])
+def test_worker_exception_propagates_instead_of_hanging(cache):
+    # cache=None keeps in-run dedup but no persistent store, so the failure
+    # cannot be masked by a disk hit from an earlier test run.
     with pytest.raises(RuntimeError, match="worker died"):
-        run_fleet(SMALL_SPECS, seed=11, workers=2, _runner=_exploding_runner)
+        run_fleet(SMALL_SPECS, seed=11, workers=2, cache=cache,
+                  _runner=_exploding_runner)
 
 
 def test_device_seed_is_stable_across_interpreters():
@@ -81,6 +89,45 @@ def test_device_seed_is_stable_across_interpreters():
     assert device_seed(42, "(other)", 130) == (
         42 * 1_000_003 + zlib.crc32(b"(other):130") % 1_000_000
     )
+
+
+def test_device_seed_property_sweep():
+    """Property-style sweep: every (seed, vendor, index) combination must
+    follow the documented CRC32 recipe, stay inside the mixing bounds, and
+    never collide for distinct devices under the same run seed (the fleet
+    relies on per-device streams being independent)."""
+    vendors = [s.name for s in VENDOR_SPECS] + ["Weird/Vendor v2.1", ""]
+    seen = {}
+    for seed in (0, 1, 42, 2**31):
+        for vendor in vendors:
+            for index in (0, 1, 7, 129, 99_999):
+                value = device_seed(seed, vendor, index)
+                expected = seed * 1_000_003 + (
+                    zlib.crc32(f"{vendor}:{index}".encode()) % 1_000_000
+                )
+                assert value == expected
+                assert value == device_seed(seed, vendor, index)  # pure
+                seen.setdefault(seed, {})[(vendor, index)] = value
+    for per_seed in seen.values():
+        assert len(set(per_seed.values())) == len(per_seed)  # no collisions
+
+
+def test_device_seed_stable_under_different_hash_seed():
+    """Run the same derivations in a subprocess with a different
+    PYTHONHASHSEED — the values a pool worker computes must match ours."""
+    combos = [(0, "Linksys", 0), (42, "(other)", 130), (7, "D-Link", 21)]
+    ours = [device_seed(*c) for c in combos]
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ, PYTHONHASHSEED="4242", PYTHONPATH=src_root)
+    script = (
+        "from repro.natcheck.fleet import device_seed\n"
+        f"print([device_seed(*c) for c in {combos!r}])\n"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], env=env, capture_output=True,
+        text=True, check=True,
+    )
+    assert eval(out.stdout.strip()) == ours
 
 
 def test_chunking_is_vendor_sliced_and_complete():

@@ -63,3 +63,56 @@ def test_presets_are_frozen():
 
     with pytest.raises(Exception):
         B.WELL_BEHAVED.hairpin = True
+
+
+# -- canonicalization: equivalent behaviours must fingerprint identically ----
+
+
+def test_canonical_is_stable_and_complete():
+    canon = B.WELL_BEHAVED.canonical()
+    assert canon["__type__"] == "NatBehavior"
+    assert canon == B.WELL_BEHAVED.canonical()  # pure
+    # Every axis is present — a new field silently missing from the
+    # fingerprint would make behaviourally different devices collide.
+    from dataclasses import fields
+
+    for field in fields(B.WELL_BEHAVED):
+        assert field.name in canon
+
+
+def test_equivalent_timeout_values_fingerprint_identically():
+    """int vs float axis values are the same behaviour: 120 and 120.0 must
+    produce byte-identical canonical forms and therefore equal fingerprints."""
+    from repro.cache import behavior_fingerprint, canonical_json
+
+    int_form = B.WELL_BEHAVED.but(udp_timeout=120)
+    float_form = B.WELL_BEHAVED.but(udp_timeout=120.0)
+    assert canonical_json(int_form) == canonical_json(float_form)
+    fp_int = behavior_fingerprint(seed=5, behavior=int_form)
+    fp_float = behavior_fingerprint(seed=5, behavior=float_form)
+    assert fp_int == fp_float
+
+
+def test_but_roundtrip_preserves_fingerprint():
+    """``but()`` with no changes (or changes that restore defaults) is the
+    identity for fingerprint purposes."""
+    from repro.cache import canonical_json
+
+    assert canonical_json(B.SYMMETRIC.but()) == canonical_json(B.SYMMETRIC)
+    restored = B.WELL_BEHAVED.but(hairpin=True).but(hairpin=False)
+    assert canonical_json(restored) == canonical_json(B.WELL_BEHAVED)
+
+
+def test_distinct_axes_produce_distinct_fingerprints():
+    from repro.cache import behavior_fingerprint
+
+    base = behavior_fingerprint(seed=0, behavior=B.WELL_BEHAVED)
+    for variant in (
+        B.WELL_BEHAVED.but(hairpin=True),
+        B.WELL_BEHAVED.but(udp_timeout=20.0),
+        B.SYMMETRIC,
+        B.RST_SENDER,
+    ):
+        assert behavior_fingerprint(seed=0, behavior=variant).core != base.core
+    # Same behaviour under a different run seed is a different simulation.
+    assert behavior_fingerprint(seed=1, behavior=B.WELL_BEHAVED).core != base.core
