@@ -1,0 +1,62 @@
+"""CI bench-regression gate: fresh perf numbers vs the committed baseline.
+
+Compares a freshly emitted ``BENCH_perf.json`` against the baseline checked
+into the repository root and fails (exit 1) when any gated throughput metric
+drops more than the tolerance (default 25% — wide enough for shared CI
+runners, tight enough to catch a real hot-path regression).
+
+Run:  PYTHONPATH=src python benchmarks/check_regression.py \
+          --baseline BENCH_perf.json --fresh fresh/BENCH_perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+#: Throughput metrics the gate protects (higher is better).
+GATED_METRICS = ("scheduler_events_per_second", "nat_packets_per_second")
+
+DEFAULT_TOLERANCE = 0.25
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default="BENCH_perf.json",
+                        help="committed baseline record (default: %(default)s)")
+    parser.add_argument("--fresh", required=True,
+                        help="freshly emitted record to judge")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed fractional drop (default: %(default)s)")
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+    floor = 1.0 - args.tolerance
+    failures: List[str] = []
+    for metric in GATED_METRICS:
+        base = float(baseline[metric])
+        new = float(fresh[metric])
+        ratio = new / base if base > 0 else 0.0
+        verdict = "OK" if ratio >= floor else "FAIL"
+        print(
+            f"[{verdict}] {metric}: baseline {base:,.0f}/s -> fresh {new:,.0f}/s "
+            f"(x{ratio:.2f}, floor x{floor:.2f})"
+        )
+        if ratio < floor:
+            failures.append(metric)
+    if failures:
+        print(
+            f"perf regression gate FAILED: {', '.join(failures)} dropped more "
+            f"than {args.tolerance:.0%} below the committed baseline"
+        )
+        return 1
+    print("perf regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

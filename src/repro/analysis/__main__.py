@@ -1,7 +1,13 @@
-"""CLI entry point: ``python -m repro.analysis [--quick] [--seed N]``."""
+"""CLI entry point: ``python -m repro.analysis [--quick] [--seed N]``.
+
+``--explain <scenario>`` runs a named failure scenario with the flight
+recorder attached and prints the attribution post-mortem instead of the
+full report (see :mod:`repro.analysis.explain` for the scenario list).
+"""
 
 import argparse
 
+from repro.analysis.explain import SCENARIOS, render_explanation
 from repro.analysis.report import generate_report
 
 
@@ -12,9 +18,21 @@ def main() -> None:
     parser.add_argument("--quick", action="store_true",
                         help="skip the 380-device Table 1 fleet")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--explain", metavar="SCENARIO",
+                        choices=sorted(SCENARIOS),
+                        help="run one failure scenario and print its "
+                             "flight-recorder post-mortem "
+                             f"({', '.join(sorted(SCENARIOS))})")
+    parser.add_argument("--dump-dir", metavar="DIR",
+                        help="with --explain: also write the flight log "
+                             "(JSONL) and Chrome trace to this directory")
     args = parser.parse_args()
     try:
-        print(generate_report(seed=args.seed, quick=args.quick))
+        if args.explain:
+            print(render_explanation(args.explain, seed=args.seed,
+                                     dump_dir=args.dump_dir))
+        else:
+            print(generate_report(seed=args.seed, quick=args.quick))
     except BrokenPipeError:  # output piped into head etc.
         pass
 

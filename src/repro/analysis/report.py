@@ -13,7 +13,11 @@ from typing import Callable, List
 
 from repro.nat import behavior as B
 from repro.natcheck.fleet import run_fleet
-from repro.natcheck.table import render_latency_appendix, render_table1
+from repro.natcheck.table import (
+    render_attribution_appendix,
+    render_latency_appendix,
+    render_table1,
+)
 from repro.obs.export import summarize_for_report
 from repro.obs.metrics import MetricsRegistry
 from repro.scenarios.figures import (
@@ -91,6 +95,7 @@ def generate_report(seed: int = 7, quick: bool = False) -> str:
         table = render_table1(fleet.reports)
         totals_ok = "310/380 (82%)" in table and "184/286 (64%)" in table
         body = table + "\n\n" + render_latency_appendix(fleet.reports)
+        body += "\n\n" + render_attribution_appendix(fleet.attribution_totals())
         if fleet.cache is not None:
             body += "\n\n" + fleet.cache.summary()
         cache_lines = summarize_for_report(fleet_metrics)

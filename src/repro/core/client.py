@@ -180,6 +180,12 @@ class PeerClient:
         #: Live connect-attempt spans keyed by (transport, peer_id); opened by
         #: connect_udp/connect_tcp, handed to the puncher at endpoint exchange.
         self._connect_spans: Dict[Tuple[int, int], Span] = {}
+        #: The owning network's flight recorder (None when none is attached).
+        #: connect_udp/connect_tcp open one attempt each; everything causally
+        #: downstream (retransmits, punch probes, the server's replies)
+        #: inherits its correlation id through the scheduler context.
+        self.flight = getattr(host, "flight", None)
+        self._connect_attempts: Dict[Tuple[int, int], object] = {}
         # --- rendezvous failover (multi-server survivability) ----------------------
         #: Present when the client was given an ordered ``servers`` list (or an
         #: explicit failover config): drives keepalives and migrates the
@@ -280,6 +286,10 @@ class PeerClient:
         span = self.metrics.span("connect", transport="udp", peer=str(peer_id))
         span.event("connect-request-sent")
         self._connect_spans[(TRANSPORT_UDP, peer_id)] = span
+        if self.flight is not None:
+            self._connect_attempts[(TRANSPORT_UDP, peer_id)] = self.flight.attempt(
+                "connect.udp", client=self.client_id, peer=peer_id
+            )
         self._pending_udp[peer_id] = (on_session, on_failure, config)
         # Retransmit the request while it is pending: the request or the
         # server's forwarded endpoints may be lost in transit, and S keeps a
@@ -298,8 +308,14 @@ class PeerClient:
         span = self._connect_spans.pop((TRANSPORT_UDP, peer_id), None)
         if span is not None:
             span.finish(OUTCOME_ERROR, reason="endpoint exchange timed out")
+        self._finish_connect_attempt(TRANSPORT_UDP, peer_id, "timeout")
         if on_failure is not None:
             on_failure(TimeoutError_(f"endpoint exchange with peer {peer_id} timed out"))
+
+    def _finish_connect_attempt(self, transport: int, peer_id: int, outcome: str) -> None:
+        attempt = self._connect_attempts.pop((transport, peer_id), None)
+        if attempt is not None:
+            self.flight.finish(attempt, outcome)
 
     def _udp_connect_attempt(self, peer_id: int, tries_left: int) -> None:
         if peer_id not in self._pending_udp or tries_left <= 0:
@@ -473,12 +489,14 @@ class PeerClient:
             span = self._connect_spans.pop((TRANSPORT_UDP, peer_id), None)
             if span is not None:
                 span.finish(OUTCOME_ERROR, reason=error.reason)
+            self._finish_connect_attempt(TRANSPORT_UDP, peer_id, "error")
             if on_failure is not None:
                 on_failure(ReproError(f"rendezvous error: {error.reason}"))
 
     # -- puncher/session bookkeeping --------------------------------------------------
 
     def _puncher_succeeded(self, puncher: UdpHolePuncher, session: UdpSession) -> None:
+        self._finish_connect_attempt(TRANSPORT_UDP, puncher.peer_id, "connected")
         self.punchers.pop(puncher.peer_id, None)
         old = self.sessions.get(puncher.peer_id)
         if old is not None and old.alive:
@@ -486,6 +504,7 @@ class PeerClient:
         self.sessions[puncher.peer_id] = session
 
     def _puncher_failed(self, puncher: UdpHolePuncher) -> None:
+        self._finish_connect_attempt(TRANSPORT_UDP, puncher.peer_id, "timeout")
         self.punchers.pop(puncher.peer_id, None)
 
     def _session_closed(self, session: UdpSession) -> None:
@@ -636,6 +655,10 @@ class PeerClient:
         span = self.metrics.span("connect", transport="tcp", peer=str(peer_id))
         span.event("connect-request-sent")
         self._connect_spans[(TRANSPORT_TCP, peer_id)] = span
+        if self.flight is not None:
+            self._connect_attempts[(TRANSPORT_TCP, peer_id)] = self.flight.attempt(
+                "connect.tcp", client=self.client_id, peer=peer_id
+            )
         self._pending_tcp[peer_id] = (on_stream, on_failure, config)
         self._send_server_tcp(
             ConnectRequest(
@@ -657,6 +680,7 @@ class PeerClient:
         span = self._connect_spans.pop((TRANSPORT_TCP, peer_id), None)
         if span is not None:
             span.finish(OUTCOME_ERROR, reason="endpoint exchange timed out")
+        self._finish_connect_attempt(TRANSPORT_TCP, peer_id, "timeout")
         if on_failure is not None:
             on_failure(TimeoutError_(f"endpoint exchange with peer {peer_id} timed out"))
 
@@ -774,10 +798,16 @@ class PeerClient:
             span = self._connect_spans.pop((TRANSPORT_TCP, peer_id), None)
             if span is not None:
                 span.finish(OUTCOME_ERROR, reason=error.reason)
+            self._finish_connect_attempt(TRANSPORT_TCP, peer_id, "error")
             if on_failure is not None:
                 on_failure(ReproError(f"rendezvous error: {error.reason}"))
 
     def _tcp_puncher_finished(self, puncher: TcpHolePuncher) -> None:
+        self._finish_connect_attempt(
+            TRANSPORT_TCP,
+            puncher.peer_id,
+            "connected" if puncher.winner is not None else "timeout",
+        )
         if self.tcp_punchers.get(puncher.peer_id) is puncher:
             del self.tcp_punchers[puncher.peer_id]
         self._unregister_stream_claimant(puncher.peer_id, puncher.nonce)

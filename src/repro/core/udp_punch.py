@@ -25,6 +25,7 @@ from repro.core.protocol import (
     SessionClose,
     SessionData,
     SessionKeepalive,
+    TRANSPORT_UDP,
 )
 from repro.netsim.addresses import Endpoint
 from repro.netsim.clock import Timer
@@ -117,6 +118,19 @@ class UdpSession:
         self._keepalive_timer: Optional[Timer] = None
         client.metrics.counter("session.udp.established").inc()
         self._keepalive_counter = client.metrics.counter("session.udp.keepalives")
+        # Flight recorder: the session is its own attempt (child of the
+        # requester's connect attempt), so a hole that later dies can be
+        # attributed — the nat.reboot / fault that killed it lands in this
+        # attempt's window, not the long-finished punch's.
+        self._flight = getattr(client, "flight", None)
+        self._attempt = None
+        if self._flight is not None:
+            self._attempt = self._flight.attempt(
+                "session.udp",
+                parent=client._connect_attempts.get((TRANSPORT_UDP, peer_id)),
+                peer=peer_id,
+                remote=str(remote),
+            )
         if config.keepalive_interval > 0:
             self._schedule_keepalive()
 
@@ -158,6 +172,8 @@ class UdpSession:
         self.closed = True
         if self._keepalive_timer is not None:
             self._keepalive_timer.cancel()
+        if self._attempt is not None:
+            self._flight.finish(self._attempt, "closed")
         self.client._session_closed(self)
 
     @property
@@ -197,6 +213,11 @@ class UdpSession:
         """The hole died (e.g. NAT idle timeout outlived our keepalives)."""
         self.broken = True
         self.client.metrics.counter("session.udp.broken").inc()
+        if self._attempt is not None:
+            self._flight.record(
+                "session.broken", peer=self.peer_id, remote=str(self.remote)
+            )
+            self._flight.finish(self._attempt, "broken")
         callback = self.on_broken
         self.close()
         # The client gets first look so automatic re-punch (§3.6: re-run the

@@ -82,6 +82,17 @@ class NatDevice(Router):
             )
         handle.inc()
 
+    def _flight_drop(self, packet: Packet, reason: str, refusal: Optional[str] = None) -> None:
+        """Flight-record a drop verdict (drop paths only, never translate)."""
+        flight = self.flight
+        if flight is not None:
+            if refusal is None:
+                flight.packet_event("nat.drop", packet, node=self.name, reason=reason)
+            else:
+                flight.packet_event(
+                    "nat.drop", packet, node=self.name, reason=reason, refusal=refusal
+                )
+
     @property
     def drops_by_reason(self) -> dict:
         """Why packets died here (reason -> count)."""
@@ -150,7 +161,17 @@ class NatDevice(Router):
             port_base = self.table.port_base + self.REBOOT_PORT_SHIFT
             if port_base > 0xFFFF - self.REBOOT_PORT_SHIFT:
                 port_base = self.behavior.port_base
+        mappings_lost = len(self.table)
         self.table.reset(port_base=port_base)
+        if self.flight is not None:
+            # Context-free: the reboot breaks every session through this
+            # device, so attribution matches it to attempts by time window.
+            self.flight.record_global(
+                "nat.reboot",
+                node=self.name,
+                port_base=port_base,
+                mappings_lost=mappings_lost,
+            )
 
     # -- data path ----------------------------------------------------------------
 
@@ -181,6 +202,7 @@ class NatDevice(Router):
         if route is None:
             self.packets_dropped += 1
             self._count_drop("no-route")
+            self._flight_drop(packet, "no-route")
             return
         if route.interface != self._wan_name:
             # LAN-to-LAN transit: plain forwarding, no translation.
@@ -208,6 +230,20 @@ class NatDevice(Router):
                 else self.behavior.tcp_established_timeout
             )
             mapping = self.table.create(policy, proto, private, remote, timeout)
+            if self.flight is not None:
+                # The decision attribution cares about: which mapping rule
+                # bound this private endpoint to which public port, and for
+                # which remote.  Divergent publics for one private endpoint
+                # are the symmetric-mapping evidence.
+                self.flight.record(
+                    "nat.map",
+                    node=self.name,
+                    proto=proto.value,
+                    private=str(private),
+                    public=str(mapping.public),
+                    remote=str(remote),
+                    policy=policy.value,
+                )
         return mapping
 
     def _translate_outbound(self, packet: Packet) -> None:
@@ -217,6 +253,7 @@ class NatDevice(Router):
         if packet.ttl <= 1:
             self.packets_dropped += 1
             self._count_drop("ttl-expired")
+            self._flight_drop(packet, "ttl-expired")
             return
         mapping = self._obtain_mapping(packet.proto, packet.src, packet.dst)
         mapping.note_outbound(packet.dst, self.scheduler.now)
@@ -258,12 +295,12 @@ class NatDevice(Router):
         if mapping is None:
             self.inbound_unmatched += 1
             self._count_drop("no-mapping")
-            self._refuse(packet)
+            self._flight_drop(packet, "no-mapping", self._refuse(packet))
             return
         if not self._filter_permits(mapping, packet.src):
             self.inbound_refused += 1
             self._count_drop("filtered")
-            self._refuse(packet)
+            self._flight_drop(packet, "filtered", self._refuse(packet))
             return
         self._deliver_inbound(packet, mapping)
 
@@ -286,6 +323,7 @@ class NatDevice(Router):
         if packet.ttl <= 1:
             self.packets_dropped += 1
             self._count_drop("ttl-expired")
+            self._flight_drop(packet, "ttl-expired")
             return
         mapping.note_inbound(
             self.scheduler.now, self.behavior.refresh_on_inbound, remote=packet.src
@@ -308,6 +346,7 @@ class NatDevice(Router):
         if mapping is None or error.original_src != mapping.public:
             self.inbound_unmatched += 1
             self._count_drop("icmp-unmatched")
+            self._flight_drop(packet, "icmp-unmatched")
             return
         translated = packet.copy()
         translated.ttl = packet.ttl - 1
@@ -324,11 +363,13 @@ class NatDevice(Router):
 
     # -- refusal (paper §5.2) --------------------------------------------------------
 
-    def _refuse(self, packet: Packet) -> None:
+    def _refuse(self, packet: Packet) -> str:
         """Apply the unsolicited-traffic policy.  UDP is always dropped
-        silently; TCP SYNs may provoke a RST or ICMP error."""
+        silently; TCP SYNs may provoke a RST or ICMP error.  Returns the
+        action taken (``"drop"``/``"rst"``/``"icmp"``) so drop sites can
+        flight-record which refusal the peer actually observed."""
         if packet.proto is not IpProtocol.TCP or not packet.tcp.is_syn_only:
-            return
+            return "drop"
         policy = self.behavior.tcp_refusal
         if policy is TcpRefusalPolicy.RST:
             rst = tcp_packet(
@@ -339,8 +380,11 @@ class NatDevice(Router):
                 ack=(packet.tcp.seq + 1) % (1 << 32),
             )
             self._emit(rst)
-        elif policy is TcpRefusalPolicy.ICMP:
+            return "rst"
+        if policy is TcpRefusalPolicy.ICMP:
             self._emit(icmp_error_for(packet, IcmpType.ADMIN_PROHIBITED, self.public_ip))
+            return "icmp"
+        return "drop"
 
     # -- hairpin (paper §3.5 / §5.4) -----------------------------------------------------
 
@@ -354,17 +398,18 @@ class NatDevice(Router):
         if packet.ttl <= 1:
             self.packets_dropped += 1
             self._count_drop("ttl-expired")
+            self._flight_drop(packet, "ttl-expired")
             return
         if not self.behavior.hairpin_for(packet.proto):
             self.hairpin_refused += 1
             self._count_drop("hairpin-refused")
-            self._refuse(packet)
+            self._flight_drop(packet, "hairpin-refused", self._refuse(packet))
             return
         dst_mapping = self.table.lookup_inbound(packet.proto, packet.dst.port)
         if dst_mapping is None:
             self.hairpin_refused += 1
             self._count_drop("hairpin-refused")
-            self._refuse(packet)
+            self._flight_drop(packet, "hairpin-refused", self._refuse(packet))
             return
         # Source-translate the sender exactly as if the packet left the WAN.
         src_mapping = self._obtain_mapping(packet.proto, packet.src, packet.dst)
@@ -376,7 +421,7 @@ class NatDevice(Router):
             # regardless of origin.
             self.hairpin_refused += 1
             self._count_drop("hairpin-refused")
-            self._refuse(packet)
+            self._flight_drop(packet, "hairpin-refused", self._refuse(packet))
             return
         dst_mapping.note_inbound(self.scheduler.now, self.behavior.refresh_on_inbound)
         translated = packet.copy()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional
 
 from repro.natcheck import messages as m
@@ -39,6 +39,11 @@ class NatCheckReport:
     # never completed.  Feed the per-vendor distributions next to Table 1.
     udp_probe_rtt: Optional[float] = None
     tcp_connect_rtt: Optional[float] = None
+    # root-cause verdicts from the flight recorder, keyed by failed phase
+    # ("udp", "udp-hairpin", "tcp", "tcp-hairpin") — empty when every phase
+    # passed or no recorder was attached.  Categories come from
+    # :mod:`repro.obs.attribution`.
+    failure_attribution: Dict[str, str] = field(default_factory=dict)
 
     # -- §6.2 classifications ------------------------------------------------
 

@@ -63,6 +63,11 @@ class NatCheckClient:
         self._token = 0
         self._tcp_echo1_seen = False
         self._tcp_echo2_seen = False
+        # Flight recorder (if the owning network attached one): one attempt
+        # per test phase, so attribution can explain each Table 1 column
+        # failure separately.
+        self._flight = getattr(host, "flight", None)
+        self._attempts: dict = {}
 
     @property
     def scheduler(self):
@@ -71,6 +76,39 @@ class NatCheckClient:
     def _next_token(self) -> int:
         self._token += 1
         return self._token
+
+    # -- flight-recorder phase attempts -------------------------------------
+
+    def _phase_start(self, key: str, name: str) -> None:
+        """Open a per-phase attempt; everything the phase triggers (probe
+        sends, NAT decisions, server dances) inherits its correlation id."""
+        if self._flight is not None:
+            self._attempts[key] = self._flight.attempt(name, host=self.host.name)
+
+    def _phase_outcome(self, key: str) -> str:
+        """The phase verdict, using the same predicates the fleet's Table 1
+        failure counts use — so attribution totals match by construction."""
+        r = self.report
+        if key == "udp":
+            return "ok" if bool(r.udp_punch_ok) else "failed"
+        if key == "udp-hairpin":
+            if r.udp_hairpin is None:
+                return "skipped"
+            return "ok" if r.udp_hairpin else "failed"
+        if key == "tcp":
+            if not r.tcp_tested:
+                return "skipped"
+            return "ok" if bool(r.tcp_punch_ok) else "failed"
+        if r.tcp_hairpin is None:  # tcp-hairpin
+            return "skipped"
+        return "ok" if r.tcp_hairpin else "failed"
+
+    def _close_open_phases(self) -> None:
+        if self._flight is None:
+            return
+        for key, attempt in self._attempts.items():
+            if not attempt.finished:
+                self._flight.finish(attempt, self._phase_outcome(key))
 
     def run(self, on_complete: Callable[[NatCheckReport], None]) -> None:
         """Start the test sequence; *on_complete* fires once with the report."""
@@ -81,6 +119,7 @@ class NatCheckClient:
     # -- phase 1: UDP (§6.1.1) ---------------------------------------------------
 
     def _udp_test(self) -> None:
+        self._phase_start("udp", "natcheck.udp")
         sock = self._stack.udp.socket(self.config.local_port)
         self._udp_primary = sock
         token1, token2 = self._next_token(), self._next_token()
@@ -112,9 +151,11 @@ class NatCheckClient:
     # -- phase 2: UDP hairpin (§6.1.1) -------------------------------------------------
 
     def _udp_hairpin_test(self) -> None:
+        self._close_open_phases()
         if not self.config.run_udp_hairpin or self.report.udp_ep2 is None:
             self._tcp_test()
             return
+        self._phase_start("udp-hairpin", "natcheck.udp-hairpin")
         self.report.udp_hairpin = False  # until the probe loops back
         self._udp_secondary = self._stack.udp.socket(self.config.secondary_port)
         self._udp_secondary.sendto(
@@ -125,9 +166,11 @@ class NatCheckClient:
     # -- phase 3: TCP (§6.1.2) ---------------------------------------------------------
 
     def _tcp_test(self) -> None:
+        self._close_open_phases()
         if not self.config.run_tcp:
             self._complete()
             return
+        self._phase_start("tcp", "natcheck.tcp")
         self.report.tcp_tested = True
         self._listener = self._stack.tcp.listen(
             self.config.local_port, on_accept=self._on_accept, reuse=True
@@ -245,9 +288,11 @@ class NatCheckClient:
     # -- phase 5: TCP hairpin ---------------------------------------------------------------
 
     def _tcp_hairpin_test(self) -> None:
+        self._close_open_phases()
         if not self.config.run_tcp_hairpin or self.report.tcp_ep2 is None:
             self._complete()
             return
+        self._phase_start("tcp-hairpin", "natcheck.tcp-hairpin")
         if self.report.tcp_hairpin is None:
             self.report.tcp_hairpin = False  # until the probe loops back
 
@@ -271,6 +316,20 @@ class NatCheckClient:
     def _complete(self) -> None:
         if self._on_complete is None:
             return
+        self._close_open_phases()
+        if self._flight is not None:
+            self._attribute_failures()
         self.report.elapsed = self.scheduler.now - self._started_at
         callback, self._on_complete = self._on_complete, None
         callback(self.report)
+
+    def _attribute_failures(self) -> None:
+        """Run the attribution engine over every failed phase attempt and
+        record the root-cause categories on the report."""
+        from repro.obs.attribution import explain
+
+        attribution = {}
+        for key, attempt in self._attempts.items():
+            if attempt.outcome == "failed":
+                attribution[key] = explain(attempt, self._flight).category
+        self.report.failure_attribution = attribution

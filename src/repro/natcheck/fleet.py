@@ -173,18 +173,20 @@ def device_config(spec: VendorSpec, index: int) -> NatCheckConfig:
     )
 
 
-def check_device(
+def build_check_network(
     behavior: NatBehavior,
     config: Optional[NatCheckConfig] = None,
     seed: int = 0,
-    deadline: float = 60.0,
-) -> NatCheckReport:
-    """Run the full NAT Check protocol against one simulated NAT.
+) -> Tuple[Network, NatCheckClient]:
+    """Build the standard NAT Check topology without running it.
 
-    Builds a fresh network (three public servers, the NAT under test, one
-    client host), runs the client, and returns its report.
+    Three public servers, the NAT under test, one client host — with a
+    flight recorder attached, so every run can be attributed.  Exposed
+    separately from :func:`check_device` for callers (the ``--explain``
+    CLI, tests) that need the network's recorder after the run.
     """
     net = Network(seed=seed)
+    net.attach_flight()
     backbone = net.create_link("backbone", BACKBONE_LINK)
     servers = NatCheckServers(net, backbone)
     nat = NatDevice("NAT-DUT", net.scheduler, behavior, rng=net.rng.child("dut"))
@@ -197,6 +199,24 @@ def check_device(
     )
     attach_stack(client_host, rng=net.rng.child("stack/client"))
     client = NatCheckClient(client_host, servers.endpoints, config)
+    return net, client
+
+
+def check_device(
+    behavior: NatBehavior,
+    config: Optional[NatCheckConfig] = None,
+    seed: int = 0,
+    deadline: float = 60.0,
+) -> NatCheckReport:
+    """Run the full NAT Check protocol against one simulated NAT.
+
+    Builds a fresh network (three public servers, the NAT under test, one
+    client host), runs the client, and returns its report.  A flight
+    recorder rides along, so failed phases come back with
+    ``report.failure_attribution`` root-cause categories; recording is
+    passive, so results are identical with or without it.
+    """
+    net, client = build_check_network(behavior, config, seed=seed)
     done: List[NatCheckReport] = []
     client.run(done.append)
     net.scheduler.run_while(lambda: not done, deadline)
@@ -282,6 +302,22 @@ class FleetResult:
         from repro.natcheck.table import latency_histograms
 
         return latency_histograms(self.reports)
+
+    def attribution_totals(self) -> Dict[str, Dict[str, int]]:
+        """Failure root-cause counts per test phase.
+
+        ``{"udp": {"symmetric-mapping-mismatch": 61, ...}, ...}`` — each
+        phase's category counts sum to exactly that Table 1 column's
+        failure count (reporting minus supporting), because the client
+        derives phase outcomes from the same predicates the table
+        aggregates.
+        """
+        totals: Dict[str, Dict[str, int]] = {}
+        for report in self.all_reports():
+            for phase, category in report.failure_attribution.items():
+                by_category = totals.setdefault(phase, {})
+                by_category[category] = by_category.get(category, 0) + 1
+        return totals
 
 
 #: Environment override for :func:`run_fleet`'s worker count.  An integer

@@ -179,18 +179,18 @@ def render_latency_appendix(
     """The punch-latency appendix printed beneath Table 1.
 
     One row per vendor (same hardware/OS ordering as the table) showing
-    p50/p95 virtual-time latency of the first UDP probe echo and the first
-    TCP connect, with sample counts.
+    p50/p95/p99 virtual-time latency of the first UDP probe echo and the
+    first TCP connect, with sample counts.
     """
     hists = latency_histograms(reports_by_vendor)
 
     def _fmt(hist: Histogram) -> str:
         if not hist.count:
             return "-"
-        return f"{hist.p50:.3f}/{hist.p95:.3f}s (n={hist.count})"
+        return f"{hist.p50:.3f}/{hist.p95:.3f}/{hist.p99:.3f}s (n={hist.count})"
 
-    header = ["NAT"] + [label + " p50/p95" for _, label in _LATENCY_FIELDS]
-    widths = [14, 24, 24]
+    header = ["NAT"] + [label + " p50/p95/p99" for _, label in _LATENCY_FIELDS]
+    widths = [14, 30, 30]
     lines = ["Punch latency (virtual seconds)"]
 
     def emit(cells: List[str]) -> None:
@@ -203,4 +203,41 @@ def render_latency_appendix(
     ordered.append("All Vendors")
     for vendor in ordered:
         emit([vendor] + [_fmt(hists[vendor][f]) for f, _ in _LATENCY_FIELDS])
+    return "\n".join(lines)
+
+
+#: Table 1 column order for the attribution appendix's phase sections.
+_ATTRIBUTION_PHASES = (
+    ("udp", "UDP punch"),
+    ("udp-hairpin", "UDP hairpin"),
+    ("tcp", "TCP punch"),
+    ("tcp-hairpin", "TCP hairpin"),
+)
+
+
+def render_attribution_appendix(totals: Dict[str, Dict[str, int]]) -> str:
+    """The failure-attribution appendix printed beneath Table 1.
+
+    *totals* comes from :meth:`~repro.natcheck.fleet.FleetResult.attribution_totals`:
+    per test phase, how many failed devices the flight recorder attributed to
+    each root-cause category.  Each phase total equals that Table 1 column's
+    failure count (denominator minus numerator) by construction — the phase
+    attempts use the same pass/fail predicates the table aggregation does.
+    """
+    from repro.obs.attribution import CATEGORIES
+
+    lines = ["Failure attribution (flight-recorder root causes)"]
+    if not any(totals.get(phase) for phase, _ in _ATTRIBUTION_PHASES):
+        lines.append("  no failures attributed (or no flight recorder attached)")
+        return "\n".join(lines)
+    for phase, label in _ATTRIBUTION_PHASES:
+        counts = totals.get(phase)
+        if not counts:
+            continue
+        total = sum(counts.values())
+        lines.append(f"{label}: {total} failed")
+        ordered = [c for c in CATEGORIES if c in counts]
+        ordered += sorted(c for c in counts if c not in CATEGORIES)
+        for category in ordered:
+            lines.append(f"  {category.ljust(28)}{counts[category]}")
     return "\n".join(lines)

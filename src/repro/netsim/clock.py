@@ -21,7 +21,7 @@ class Timer:
     :meth:`Scheduler.call_later`; user code should never construct one.
     """
 
-    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired", "_scheduler")
+    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired", "_scheduler", "_ctx")
 
     def __init__(
         self,
@@ -36,6 +36,11 @@ class Timer:
         self._cancelled = False
         self._fired = False
         self._scheduler = scheduler
+        # Causal context: a timer inherits the context active when it was
+        # scheduled and restores it when it fires, so attempt identity flows
+        # through arbitrary timer chains (packet deliveries, retransmits,
+        # delayed server replies) without any per-layer plumbing.
+        self._ctx = scheduler.context if scheduler is not None else None
 
     def cancel(self) -> None:
         """Prevent the callback from running; idempotent.
@@ -90,6 +95,10 @@ class Scheduler:
 
     def __init__(self) -> None:
         self._now = 0.0
+        #: Causal context of the currently-executing timer chain (an attempt
+        #: id from :mod:`repro.obs.flight`, or None).  New timers capture it;
+        #: the fire loops restore it before each callback.
+        self.context = None
         self._heap: List[Tuple[float, int, Timer]] = []
         self._sequence = itertools.count()
         #: Cancelled timers still occupying heap slots.
@@ -190,6 +199,7 @@ class Scheduler:
                 continue
             self._now = when
             self.events_fired += 1
+            self.context = timer._ctx
             timer._fire()
             return True
         return False
@@ -214,6 +224,7 @@ class Scheduler:
                 continue
             self._now = when
             self.events_fired += 1
+            self.context = timer._ctx
             timer._fire()
         self._now = deadline
 

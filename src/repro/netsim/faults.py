@@ -163,6 +163,13 @@ class FaultInjector:
         self._apply(event)
         self.injected.append(event)
         self.net.metrics.counter("faults.injected", fault=event.fault).inc()
+        flight = self.net.flight
+        if flight is not None:
+            # Context-free: a fault is relevant to every attempt whose
+            # window it lands in, so attribution matches it by time.
+            flight.record_global(
+                "fault", fault=event.fault, target=event.target, arg=event.arg
+            )
 
     def _apply(self, event: FaultEvent) -> None:
         if event.fault in (FAULT_LINK_DOWN, FAULT_LINK_UP, FAULT_LINK_FLAP):

@@ -116,6 +116,9 @@ class Link:
         self.profile = profile or LinkProfile()
         self._rng = rng or SeededRng(0, f"link/{name}")
         self._trace = trace
+        #: FlightRecorder set by ``Network.attach_flight``; None (the
+        #: default) keeps every drop site to a single attribute test.
+        self._flight = None
         self._attachments: List[Tuple["Node", IPv4Address]] = []
         self._owner_index: Dict[IPv4Address, "Node"] = {}
         self._busy_until = 0.0
@@ -179,6 +182,7 @@ class Link:
                 del self._in_flight[seq]
                 self.packets_dropped += 1
                 self._record(packet, sender, receiver, "detach-drop")
+                self._flight_drop(packet, "detach-drop")
 
     # -- link state (fault injection) -------------------------------------------
 
@@ -197,6 +201,7 @@ class Link:
             self.packets_dropped += 1
             self.flap_drops += 1
             self._record(packet, sender, receiver, "flap-drop")
+            self._flight_drop(packet, "flap-drop")
         self._in_flight.clear()
 
     def up(self) -> None:
@@ -226,22 +231,26 @@ class Link:
             self.packets_dropped += 1
             self.flap_drops += 1
             self._record(packet, sender, None, "link-down")
+            self._flight_drop(packet, "link-down")
             return False
         receiver = self._owner_index.get(IPv4Address(next_hop_ip))
         if receiver is None or receiver is sender:
             self.packets_dropped += 1
             self._record(packet, sender, None, "no-next-hop")
+            self._flight_drop(packet, "no-next-hop")
             return False
         if self.profile.loss and self._rng.chance(self.profile.loss):
             self.packets_dropped += 1
             self._lost_handles[packet.proto].inc()
             self._record(packet, sender, receiver, "lost")
+            self._flight_drop(packet, "lost")
             return False
         if self.profile.burst_enter and self._ge_burst_drops(packet):
             self.packets_dropped += 1
             self.burst_drops += 1
             self._lost_handles[packet.proto].inc()
             self._record(packet, sender, receiver, "burst-lost")
+            self._flight_drop(packet, "burst-lost")
             return False
         delay = self.profile.latency
         if self.profile.jitter:
@@ -256,6 +265,7 @@ class Link:
                 self.packets_dropped += 1
                 self.queue_drops += 1
                 self._record(packet, sender, receiver, "queue-drop")
+                self._flight_drop(packet, "queue-drop")
                 return False
             serialization = packet.size * 8 / self.profile.bandwidth_bps
             self._busy_until = now + queue_wait + serialization
@@ -298,6 +308,13 @@ class Link:
     def _deliver(self, seq: int) -> None:
         _, _, receiver, packet = self._in_flight.pop(seq)
         receiver.receive(packet, self)
+
+    def _flight_drop(self, packet: Packet, reason: str) -> None:
+        """Flight-record a wire drop; drop paths only, never the send path."""
+        if self._flight is not None:
+            self._flight.packet_event(
+                "link.drop", packet, link=self.name, reason=reason
+            )
 
     def _record(self, packet: Packet, sender: "Node", receiver, event: str) -> None:
         if self._trace is not None:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.netsim.addresses import IPv4Network
 from repro.netsim.clock import Scheduler
@@ -11,6 +11,9 @@ from repro.netsim.node import Host, Node, Router
 from repro.netsim.trace import PacketTrace
 from repro.obs.metrics import MetricsRegistry
 from repro.util.rng import SeededRng
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.flight import FlightRecorder
 
 
 class Network:
@@ -40,6 +43,10 @@ class Network:
             now_fn=lambda: self.scheduler.now, enabled=metrics_enabled
         )
         self.metrics.add_collector(self._collect_builtin)
+        #: Causal flight recorder (see :mod:`repro.obs.flight`); attached on
+        #: demand via :meth:`attach_flight`, None by default so the packet
+        #: path pays nothing.
+        self.flight = None
         self.nodes: Dict[str, Node] = {}
         self.links: Dict[str, Link] = {}
         self._link_counter = 0
@@ -60,6 +67,7 @@ class Network:
             rng=self.rng.child(f"link/{name}"),
             trace=self.trace,
         )
+        link._flight = self.flight
         self.links[name] = link
         return link
 
@@ -69,7 +77,28 @@ class Network:
             raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
         node.metrics = self.metrics  # reachable from every layer above
+        node.flight = self.flight
         return node
+
+    def attach_flight(self, capacity: Optional[int] = None) -> "FlightRecorder":
+        """Attach a causal flight recorder and fan it out to every layer.
+
+        Existing and future nodes/links get the reference; idempotent (a
+        second call returns the recorder already attached).  Recording stays
+        strictly passive — determinism is unaffected.
+        """
+        from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
+
+        if self.flight is None:
+            self.flight = FlightRecorder(
+                self.scheduler,
+                capacity=capacity if capacity is not None else DEFAULT_CAPACITY,
+            )
+            for link in self.links.values():
+                link._flight = self.flight
+            for node in self.nodes.values():
+                node.flight = self.flight
+        return self.flight
 
     def add_host(
         self,
@@ -138,6 +167,12 @@ class Network:
         registry.counter("scheduler.compacted_entries").value = scheduler.compacted_entries
         registry.gauge("scheduler.queue_depth").set(scheduler.queue_depth)
         registry.gauge("scheduler.max_queue_depth").set(scheduler.max_queue_depth)
+        # Eviction visibility: a truncated capture must be detectable from a
+        # JSON snapshot, not just the trace dump header.
+        registry.gauge("trace.dropped_records").set(self.trace.dropped_records)
+        if self.flight is not None:
+            registry.gauge("flight.dropped_events").set(self.flight.dropped_events)
+            registry.gauge("flight.attempts").set(len(self.flight.attempts))
         sent_by_proto: Dict[object, int] = {}
         lost_by_proto: Dict[object, int] = {}
         packets = drops = queue_drops = total_bytes = 0

@@ -38,6 +38,9 @@ class Node:
     #: The owning network's MetricsRegistry, set by ``Network.add_node`` so
     #: protocol layers above can reach it; None for standalone nodes.
     metrics = None
+    #: The owning network's FlightRecorder, set by ``Network.add_node`` /
+    #: ``Network.attach_flight``; None keeps recording sites to one test.
+    flight = None
 
     def __init__(self, name: str, scheduler: Scheduler) -> None:
         self.name = name

@@ -115,6 +115,10 @@ class Packet:
         ttl: decremented per hop; expiry drops the packet (guards routing
             loops in malformed topologies).
         packet_id: unique per packet object, for tracing.
+        flow: attempt-scoped correlation id (see :mod:`repro.obs.flight`),
+            or None when no flight recorder is attached.  Stamped lazily at
+            the first recorded hop and propagated through :meth:`copy`, so
+            every NAT rewrite of the same original packet shares lineage.
     """
 
     proto: IpProtocol
@@ -125,6 +129,7 @@ class Packet:
     icmp: Optional[IcmpError] = None
     ttl: int = DEFAULT_TTL
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    flow: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.proto is IpProtocol.TCP and self.tcp is None:
@@ -156,6 +161,7 @@ class Packet:
         clone.icmp = self.icmp
         clone.ttl = self.ttl
         clone.packet_id = next(_packet_ids)
+        clone.flow = self.flow
         return clone
 
     @property

@@ -9,18 +9,50 @@ The observability layer the evaluation (Table 1, §6) is reported through:
   lookup → punch probes → lock-in or fallback-to-relay) with tagged
   outcomes;
 * :mod:`~repro.obs.export` — text summaries and round-trippable JSON dumps;
+* :class:`~repro.obs.flight.FlightRecorder` — the causal flight recorder:
+  per-attempt event timelines stitched from NAT decisions, link drops, and
+  fault injections via correlation-id propagation;
+* :func:`~repro.obs.attribution.explain` — the rule-based failure-
+  attribution engine that turns a timeline into a root-cause verdict;
+* :mod:`~repro.obs.flight_export` — JSONL event logs and Chrome
+  ``trace_event`` JSON for the recorder;
 * :class:`~repro.obs.profile.RunProfiler` — the wall-clock events/sec and
   packets/sec hook the perf benches assert against.
 
 See ``docs/observability.md`` for the metric and span catalog.
 """
 
+from repro.obs.attribution import (
+    CAT_FILTERED,
+    CAT_HAIRPIN,
+    CAT_LOSS,
+    CAT_NAT_REBOOT,
+    CAT_NONE,
+    CAT_RST,
+    CAT_SERVER_DEAD,
+    CAT_SYMMETRIC,
+    CAT_TIMEOUT,
+    CAT_UNKNOWN,
+    CATEGORIES,
+    Verdict,
+    explain,
+    explain_all,
+    render_verdict,
+)
 from repro.obs.export import (
     from_json,
     render_text,
     summarize_for_report,
     summarize_values,
     to_json,
+)
+from repro.obs.flight import Attempt, FlightEvent, FlightRecorder
+from repro.obs.flight_export import (
+    from_chrome_trace,
+    from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_flight_files,
 )
 from repro.obs.metrics import (
     Counter,
@@ -42,12 +74,35 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "Attempt",
+    "CATEGORIES",
+    "CAT_FILTERED",
+    "CAT_HAIRPIN",
+    "CAT_LOSS",
+    "CAT_NAT_REBOOT",
+    "CAT_NONE",
+    "CAT_RST",
+    "CAT_SERVER_DEAD",
+    "CAT_SYMMETRIC",
+    "CAT_TIMEOUT",
+    "CAT_UNKNOWN",
     "Counter",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RunProfiler",
     "Span",
+    "Verdict",
+    "explain",
+    "explain_all",
+    "from_chrome_trace",
+    "from_jsonl",
+    "render_verdict",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_flight_files",
     "NULL_SPAN",
     "OUTCOME_ERROR",
     "OUTCOME_FALLBACK",

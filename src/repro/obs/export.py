@@ -53,6 +53,7 @@ def _histogram_line(key: str, hist: Histogram) -> str:
         f"{key}: n={hist.count} "
         f"p50={_format_value(hist.p50, hist.unit)} "
         f"p95={_format_value(hist.p95, hist.unit)} "
+        f"p99={_format_value(hist.p99, hist.unit)} "
         f"max={_format_value(hist.max, hist.unit)}"
     )
 
@@ -109,13 +110,14 @@ def _percentile(values: Sequence[float], p: float) -> float:
 
 
 def summarize_values(values: Sequence[float], unit: str = "s") -> str:
-    """Digest a raw observation list: ``n=… p50=… p95=… max=…``."""
+    """Digest a raw observation list: ``n=… p50=… p95=… p99=… max=…``."""
     if not values:
         return "n=0"
     return (
         f"n={len(values)} "
         f"p50={_format_value(_percentile(values, 50), unit)} "
         f"p95={_format_value(_percentile(values, 95), unit)} "
+        f"p99={_format_value(_percentile(values, 99), unit)} "
         f"max={_format_value(max(values), unit)}"
     )
 

@@ -1,0 +1,165 @@
+"""Flight-recorder exporters: JSONL event logs and Chrome ``trace_event``.
+
+Two machine formats for one timeline:
+
+* :func:`to_jsonl` / :func:`from_jsonl` — newline-delimited JSON, one
+  record per line (a ``meta`` header, then attempts, then events).  Grep-
+  and stream-friendly; the canonical archive format.
+* :func:`to_chrome_trace` / :func:`from_chrome_trace` — the Chrome
+  ``trace_event`` JSON object format, loadable in ``chrome://tracing`` or
+  Perfetto.  Attempts become complete (``"X"``) slices nested by causal
+  parent, point events become instants (``"i"``); virtual seconds map onto
+  trace microseconds.
+
+Both writers operate on :meth:`FlightRecorder.to_payload` and both readers
+return an equal payload dict — the round-trip property the test suite pins
+(including the empty-timeline and eviction-truncated edge cases).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.obs.flight import FlightRecorder
+
+PayloadLike = Dict[str, object]
+
+
+def _payload(source) -> PayloadLike:
+    if isinstance(source, FlightRecorder):
+        return source.to_payload()
+    return source
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def to_jsonl(source) -> str:
+    """Serialise a recorder (or payload dict) to newline-delimited JSON."""
+    payload = _payload(source)
+    lines = [
+        json.dumps(
+            {"type": "meta", "dropped_events": payload["dropped_events"]},
+            sort_keys=True,
+        )
+    ]
+    for attempt in payload["attempts"]:
+        lines.append(json.dumps(dict(attempt, type="attempt"), sort_keys=True))
+    for event in payload["events"]:
+        lines.append(json.dumps(dict(event, type="event"), sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(document: str) -> PayloadLike:
+    """Parse :func:`to_jsonl` output back into a payload dict."""
+    dropped = 0
+    attempts: List[Dict[str, object]] = []
+    events: List[Dict[str, object]] = []
+    for line_number, line in enumerate(document.splitlines(), start=1):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        kind = record.pop("type", None)
+        if kind == "meta":
+            dropped = int(record.get("dropped_events", 0))
+        elif kind == "attempt":
+            attempts.append(record)
+        elif kind == "event":
+            events.append(record)
+        else:
+            raise ValueError(f"line {line_number}: not a flight record: {kind!r}")
+    attempts.sort(key=lambda a: a["id"])
+    return {"dropped_events": dropped, "attempts": attempts, "events": events}
+
+
+# -- Chrome trace_event --------------------------------------------------------
+
+#: Virtual seconds -> trace microseconds.
+_US = 1_000_000.0
+
+
+def _root_of(attempt_id: Optional[int], parents: Dict[int, Optional[int]]) -> Optional[int]:
+    """Walk the parent chain to the root attempt id (for tid grouping)."""
+    if attempt_id is None:
+        return None
+    current = attempt_id
+    while parents.get(current) is not None:
+        current = parents[current]  # type: ignore[assignment]
+    return current
+
+
+def to_chrome_trace(source, indent: Optional[int] = None) -> str:
+    """Serialise to the Chrome ``trace_event`` JSON object format.
+
+    One trace process; each root attempt gets its own thread row so nested
+    child attempts render as a flame under their causal ancestor, and
+    global (attempt-less) events land on thread 0.  Every record carries
+    the original fields under ``args`` so :func:`from_chrome_trace` can
+    reconstruct the payload losslessly.
+    """
+    payload = _payload(source)
+    parents = {a["id"]: a.get("parent") for a in payload["attempts"]}
+    trace_events: List[Dict[str, object]] = []
+    for attempt in payload["attempts"]:
+        start = float(attempt["start"])
+        end = attempt["end"]
+        duration = (float(end) - start) if end is not None else 0.0
+        trace_events.append(
+            {
+                "name": attempt["name"],
+                "cat": "attempt",
+                "ph": "X",
+                "ts": start * _US,
+                "dur": duration * _US,
+                "pid": 1,
+                "tid": _root_of(attempt["id"], parents) or attempt["id"],
+                "args": dict(attempt),
+            }
+        )
+    for event in payload["events"]:
+        trace_events.append(
+            {
+                "name": event["kind"],
+                "cat": "flight",
+                "ph": "i",
+                "s": "t",
+                "ts": float(event["time"]) * _US,
+                "pid": 1,
+                "tid": _root_of(event["attempt"], parents) or 0,
+                "args": dict(event),
+            }
+        )
+    document = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"dropped_events": payload["dropped_events"]},
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def from_chrome_trace(document: str) -> PayloadLike:
+    """Parse :func:`to_chrome_trace` output back into a payload dict."""
+    parsed = json.loads(document)
+    if "traceEvents" not in parsed:
+        raise ValueError("not a chrome trace: missing traceEvents")
+    attempts: List[Dict[str, object]] = []
+    events: List[Dict[str, object]] = []
+    for record in parsed["traceEvents"]:
+        args = record.get("args", {})
+        if record.get("cat") == "attempt":
+            attempts.append(dict(args))
+        elif record.get("cat") == "flight":
+            events.append(dict(args))
+    attempts.sort(key=lambda a: a["id"])
+    dropped = int(parsed.get("otherData", {}).get("dropped_events", 0))
+    return {"dropped_events": dropped, "attempts": attempts, "events": events}
+
+
+def write_flight_files(recorder: FlightRecorder, jsonl_path, trace_path) -> None:
+    """Dump both formats to disk (used by ``--explain`` and the analysis)."""
+    payload = recorder.to_payload()
+    with open(jsonl_path, "w", encoding="utf-8") as fh:
+        fh.write(to_jsonl(payload))
+    with open(trace_path, "w", encoding="utf-8") as fh:
+        fh.write(to_chrome_trace(payload, indent=2))

@@ -119,8 +119,13 @@ class ScenarioBuilder:
         seed: int = 0,
         backbone_profile: LinkProfile = BACKBONE_LINK,
         obfuscate: bool = False,
+        flight: bool = False,
     ) -> None:
         self.net = Network(seed=seed)
+        if flight:
+            # Attach before any node/client exists so every layer (links,
+            # NATs, PeerClients) captures the recorder reference.
+            self.net.attach_flight()
         self.obfuscate = obfuscate
         self.backbone = self.net.create_link("backbone", backbone_profile)
         self._client_counter = 0
