@@ -5,6 +5,20 @@ into the repository root and fails (exit 1) when any gated throughput metric
 drops more than the tolerance (default 25% — wide enough for shared CI
 runners, tight enough to catch a real hot-path regression).
 
+Gated metrics come in two tiers: :data:`GATED_METRICS` must exist in both
+records (their absence is itself a failure), while :data:`OPTIONAL_METRICS`
+— records added after older baselines were committed, addressed by dotted
+path — are gated only when the baseline carries them and reported as ``NEW``
+when it does not, so a baseline refresh is never required just to grow the
+record.  A metric present in the baseline but missing from the fresh record
+always fails: that is a bench-harness regression, not a perf one.
+
+The ``table1_fleet`` record is shape-checked rather than gated: a
+single-core host omits the parallel timing and marks the record
+``skipped: "single-core"`` (older baselines just omit the keys); a
+multi-core record must carry the parallel timing and speedup.  Both shapes
+pass — an inconsistent mixture fails.
+
 Run:  PYTHONPATH=src python benchmarks/check_regression.py \
           --baseline BENCH_perf.json --fresh fresh/BENCH_perf.json
 """
@@ -14,12 +28,59 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List
+from typing import List, Optional
 
-#: Throughput metrics the gate protects (higher is better).
+#: Throughput metrics the gate always protects (higher is better).
 GATED_METRICS = ("scheduler_events_per_second", "nat_packets_per_second")
 
+#: Later-generation records (dotted paths), gated only when the baseline has
+#: them: the link-level view of the NAT echo workload and the pure
+#: batch-drain delivery rate.
+OPTIONAL_METRICS = (
+    "nat_link_packets_per_second",
+    "batched_delivery.packets_per_second",
+)
+
 DEFAULT_TOLERANCE = 0.25
+
+
+def lookup(record: dict, path: str) -> Optional[float]:
+    """Resolve a dotted path into a nested record; None when absent."""
+    node = record
+    for key in path.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node)
+
+
+def fleet_shape_error(fleet: object, label: str) -> Optional[str]:
+    """Validate one record's ``table1_fleet`` shape; None when acceptable.
+
+    Serial shape: ``effective_workers == 1`` (ideally with the explicit
+    ``skipped: "single-core"`` marker; older baselines omit it) and no
+    parallel keys.  Parallel shape: both ``parallel_wall_seconds`` and
+    ``speedup`` present.
+    """
+    if not isinstance(fleet, dict):
+        return f"{label}: table1_fleet record missing"
+    has_parallel = "parallel_wall_seconds" in fleet or "speedup" in fleet
+    if fleet.get("effective_workers", 1) <= 1 or "skipped" in fleet:
+        if has_parallel:
+            return (
+                f"{label}: serial-shaped table1_fleet "
+                f"(skipped={fleet.get('skipped')!r}) carries parallel keys"
+            )
+        return None
+    missing = [
+        key for key in ("parallel_wall_seconds", "speedup") if key not in fleet
+    ]
+    if missing:
+        return (
+            f"{label}: parallel table1_fleet omits {', '.join(missing)} "
+            f"without a skipped marker"
+        )
+    return None
 
 
 def main(argv=None) -> int:
@@ -37,9 +98,22 @@ def main(argv=None) -> int:
         fresh = json.load(fh)
     floor = 1.0 - args.tolerance
     failures: List[str] = []
-    for metric in GATED_METRICS:
-        base = float(baseline[metric])
-        new = float(fresh[metric])
+    for metric in GATED_METRICS + OPTIONAL_METRICS:
+        base = lookup(baseline, metric)
+        new = lookup(fresh, metric)
+        if base is None:
+            if metric in GATED_METRICS:
+                print(f"[FAIL] {metric}: missing from baseline record")
+                failures.append(metric)
+            elif new is None:
+                print(f"[SKIP] {metric}: not recorded yet")
+            else:
+                print(f"[NEW]  {metric}: {new:,.0f}/s (no baseline to gate against)")
+            continue
+        if new is None:
+            print(f"[FAIL] {metric}: in baseline but missing from fresh record")
+            failures.append(metric)
+            continue
         ratio = new / base if base > 0 else 0.0
         verdict = "OK" if ratio >= floor else "FAIL"
         print(
@@ -48,10 +122,23 @@ def main(argv=None) -> int:
         )
         if ratio < floor:
             failures.append(metric)
+    for label, record in (("baseline", baseline), ("fresh", fresh)):
+        error = fleet_shape_error(record.get("table1_fleet"), label)
+        if error is None:
+            shape = (
+                "serial"
+                if "skipped" in record.get("table1_fleet", {})
+                or "speedup" not in record.get("table1_fleet", {})
+                else "parallel"
+            )
+            print(f"[OK] table1_fleet ({label}): {shape} shape")
+        else:
+            print(f"[FAIL] {error}")
+            failures.append(f"table1_fleet[{label}]")
     if failures:
         print(
-            f"perf regression gate FAILED: {', '.join(failures)} dropped more "
-            f"than {args.tolerance:.0%} below the committed baseline"
+            f"perf regression gate FAILED: {', '.join(failures)} — dropped more "
+            f"than {args.tolerance:.0%} below baseline or malformed record"
         )
         return 1
     print("perf regression gate passed")

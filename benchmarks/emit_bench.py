@@ -30,6 +30,8 @@ Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--quick] [--only NAME]
 from __future__ import annotations
 
 import argparse
+import contextlib
+import gc
 import json
 import os
 import platform
@@ -45,6 +47,7 @@ from repro.natcheck.fleet import (
     VENDOR_SPECS,
     resolve_workers,
     run_fleet,
+    run_monte_carlo,
     scale_population,
 )
 from repro.netsim.addresses import Endpoint
@@ -83,6 +86,21 @@ class BenchContext:
 # -- workloads ---------------------------------------------------------------
 
 
+@contextlib.contextmanager
+def quiesced_gc():
+    """Suspend the cyclic collector around a timed window (the stdlib
+    ``timeit`` convention): collection pauses otherwise land at arbitrary
+    points inside runs and cost the packet benches up to ~15% of their
+    measured rate, all of it noise rather than workload."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def bench_scheduler(events: int = 50_000) -> dict:
     """Self-rescheduling timer chain: pure heap push/pop throughput."""
     scheduler = Scheduler()
@@ -94,38 +112,59 @@ def bench_scheduler(events: int = 50_000) -> dict:
             scheduler.call_later(0.001, tick)
 
     scheduler.call_later(0.0, tick)
-    with RunProfiler(scheduler=scheduler) as prof:
+    with quiesced_gc(), RunProfiler(scheduler=scheduler) as prof:
         scheduler.run(max_events=events * 2)
     assert count["n"] == events
     return prof.to_dict()
 
 
-def bench_packets(packets: int = 5_000) -> dict:
-    """UDP echo round trips through one NAT: link + NAT + stack hot paths."""
-    net = Network(seed=1)
-    backbone = net.create_link("backbone")
-    server = net.add_host("S", ip="18.181.0.31", network="0.0.0.0/0", link=backbone)
-    attach_stack(server)
-    nat = NatDevice("NAT", net.scheduler, B.WELL_BEHAVED, rng=net.rng.child("n"))
-    net.add_node(nat)
-    nat.set_wan("155.99.25.11", "0.0.0.0/0", backbone)
-    lan = net.create_link("lan", LAN_LINK)
-    nat.add_lan("10.0.0.254", "10.0.0.0/24", lan)
-    client = net.add_host(
-        "C", ip="10.0.0.1", network="10.0.0.0/24", link=lan, gateway="10.0.0.254"
-    )
-    attach_stack(client)
-    echo = server.stack.udp.socket(1234)
-    echo.on_datagram = lambda d, src: echo.sendto(d, src)
-    received = []
-    sock = client.stack.udp.socket(4321)
-    sock.on_datagram = lambda d, src: received.append(d)
-    for _ in range(packets):
-        sock.sendto(b"x" * 32, Endpoint("18.181.0.31", 1234))
-    with RunProfiler(network=net) as prof:
-        net.run_until(30.0)
-    assert len(received) == packets
-    return prof.to_dict()
+def bench_packets(packets: int = 5_000, rounds: int = 5) -> dict:
+    """UDP echo round trips through one NAT: link + NAT + stack hot paths.
+
+    Best-of-N (same defence against machine-load spikes as
+    :func:`bench_obs_overhead`): each round builds a fresh topology, and the
+    round with the highest packet rate is the one reported.  The first round
+    is an untimed warmup — in a cold process it pays one-time costs
+    (bytecode specialisation, allocator growth) that are not the workload's.
+    """
+    best = None
+    for attempt in range(rounds + 1):
+        net = Network(seed=1)
+        backbone = net.create_link("backbone")
+        server = net.add_host(
+            "S", ip="18.181.0.31", network="0.0.0.0/0", link=backbone
+        )
+        attach_stack(server)
+        nat = NatDevice("NAT", net.scheduler, B.WELL_BEHAVED, rng=net.rng.child("n"))
+        net.add_node(nat)
+        nat.set_wan("155.99.25.11", "0.0.0.0/0", backbone)
+        lan = net.create_link("lan", LAN_LINK)
+        nat.add_lan("10.0.0.254", "10.0.0.0/24", lan)
+        client = net.add_host(
+            "C", ip="10.0.0.1", network="10.0.0.0/24", link=lan, gateway="10.0.0.254"
+        )
+        attach_stack(client)
+        echo = server.stack.udp.socket(1234)
+        # Bound method, not a lambda: sendto(payload, dest) already has the
+        # echo handler's (payload, src) signature, and the wrapper frame is
+        # one call per server packet.
+        echo.on_datagram = echo.sendto
+        received = []
+        sock = client.stack.udp.socket(4321)
+        sock.on_datagram = lambda d, src: received.append(d)
+        dest = Endpoint("18.181.0.31", 1234)
+        payload = b"x" * 32
+        for _ in range(packets):
+            sock.sendto(payload, dest)
+        with quiesced_gc(), RunProfiler(network=net) as prof:
+            net.run_until(30.0)
+        assert len(received) == packets
+        if attempt == 0:
+            continue  # warmup round: measured but never reported
+        result = prof.to_dict()
+        if best is None or result["packets_per_second"] > best["packets_per_second"]:
+            best = result
+    return best
 
 
 def _echo_throughput(packets: int, flight: bool) -> float:
@@ -149,17 +188,55 @@ def _echo_throughput(packets: int, flight: bool) -> float:
     )
     attach_stack(client)
     echo = server.stack.udp.socket(1234)
-    echo.on_datagram = lambda d, src: echo.sendto(d, src)
+    echo.on_datagram = echo.sendto  # bound method: same signature, no wrapper frame
     received = []
     sock = client.stack.udp.socket(4321)
     sock.on_datagram = lambda d, src: received.append(d)
+    dest = Endpoint("18.181.0.31", 1234)
+    payload = b"x" * 32
     for _ in range(packets):
-        sock.sendto(b"x" * 32, Endpoint("18.181.0.31", 1234))
-    started = time.perf_counter()
-    net.run_until(30.0)
-    wall = time.perf_counter() - started
+        sock.sendto(payload, dest)
+    with quiesced_gc():
+        started = time.perf_counter()
+        net.run_until(30.0)
+        wall = time.perf_counter() - started
     assert len(received) == packets
     return net.total_packets_sent() / wall if wall > 0 else 0.0
+
+
+def bench_batched_delivery(packets: int = 10_000, rounds: int = 3) -> dict:
+    """Pure batch-drain throughput: one link, two hosts, a one-tick burst.
+
+    Every datagram is sent at t=0, so the whole burst coalesces into one
+    delivery batch per link and the measurement isolates the
+    ``Link.transmit`` append + scheduler drain + ``receive`` dispatch path —
+    no NAT, no routing beyond the on-link next hop.  Best-of-N with an
+    untimed warmup round, as in :func:`bench_packets`.
+    """
+    best = 0.0
+    for attempt in range(rounds + 1):
+        net = Network(seed=1)
+        wire = net.create_link("wire", LAN_LINK)
+        sender = net.add_host("A", ip="10.0.0.1", network="10.0.0.0/24", link=wire)
+        attach_stack(sender)
+        receiver = net.add_host("B", ip="10.0.0.2", network="10.0.0.0/24", link=wire)
+        attach_stack(receiver)
+        received = []
+        sink = receiver.stack.udp.socket(1234)
+        sink.on_datagram = lambda d, src: received.append(d)
+        sock = sender.stack.udp.socket(4321)
+        dest = Endpoint("10.0.0.2", 1234)
+        payload = b"x" * 32
+        for _ in range(packets):
+            sock.sendto(payload, dest)
+        with quiesced_gc():
+            started = time.perf_counter()
+            net.run_until(1.0)
+            wall = time.perf_counter() - started
+        assert len(received) == packets
+        if attempt > 0 and wall > 0:
+            best = max(best, packets / wall)
+    return {"packets": packets, "rounds": rounds, "packets_per_second": best}
 
 
 def bench_obs_overhead(
@@ -231,9 +308,12 @@ def bench_fleet_parallel(quick: bool = False) -> dict:
     only allowed to be a speedup, never a behaviour change — so the rows are
     compared before the timing record is returned.  ``requested_workers``
     records what we asked for (all cores); ``effective_workers`` what the
-    host delivers.  On a single-core host they collapse to serial, in which
-    case the parallel run and the (meaningless) ``speedup`` are omitted
-    rather than reported as ``workers: 1, speedup: ~1``.
+    host delivers.  On a single-core host they collapse to serial: the
+    parallel run and the (meaningless) ``speedup`` are omitted, and the
+    record says so explicitly with ``skipped: "single-core"`` — a silently
+    absent key reads like a bench-harness bug, an explicit marker reads like
+    the measurement decision it is (``check_regression.py`` accepts both
+    shapes).
     """
     requested = resolve_workers(0)  # all cores
     serial = _timed_fleet(quick, workers=1)
@@ -246,6 +326,7 @@ def bench_fleet_parallel(quick: bool = False) -> dict:
         "quick": quick,
     }
     if effective == 1:
+        record["skipped"] = "single-core"
         return record
     parallel = _timed_fleet(quick, workers=effective)
     assert serial["rows"] == parallel["rows"], "parallel fleet diverged from serial"
@@ -283,6 +364,24 @@ def bench_fleet_cached(quick: bool = False) -> dict:
         "rows_identical": True,
         "quick": quick,
     }
+
+
+def bench_monte_carlo(quick: bool = False) -> dict:
+    """Monte-Carlo punch-success survey over the NAT design space.
+
+    Samples the behaviour-axis space uniformly (see
+    :func:`repro.natcheck.fleet.run_monte_carlo`) and reports per-column
+    success rates with 95% Wilson confidence intervals — Table 1 generalized
+    from the observed 2004 vendor mix to the design space.  Only tractable
+    at this sample count because fingerprint dedup collapses repeated draws
+    onto one simulation each.
+    """
+    samples = 200 if quick else 1500
+    started = time.perf_counter()
+    record = run_monte_carlo(samples=samples, seed=42)
+    record["wall_seconds"] = time.perf_counter() - started
+    record["quick"] = quick
+    return record
 
 
 #: Scale factor that pushes the 380-device fleet past 100k devices.
@@ -359,6 +458,13 @@ def emit_perf(ctx: BenchContext) -> dict:
     record = dict(_environment())
     record["scheduler_events_per_second"] = scheduler["events_per_second"]
     record["nat_packets_per_second"] = echo["packets_per_second"]
+    # Link-level view of the same echo workload: every wire hop counted
+    # (4 per round trip vs the 3 application-level packets above), no
+    # profiler in the loop.
+    record["nat_link_packets_per_second"] = ctx.get(
+        "nat_link", lambda: max(_echo_throughput(5_000, flight=False) for _ in range(3))
+    )
+    record["batched_delivery"] = ctx.get("batched_delivery", bench_batched_delivery)
     record["table1_fleet"] = ctx.get(
         "fleet_parallel", lambda: bench_fleet_parallel(quick=ctx.quick)
     )
@@ -369,6 +475,9 @@ def emit_perf(ctx: BenchContext) -> dict:
     record["scaled_population"] = ctx.get(
         "scaled_population",
         lambda: bench_scaled_population(quick=ctx.quick, serial_wall=serial_wall),
+    )
+    record["monte_carlo"] = ctx.get(
+        "monte_carlo", lambda: bench_monte_carlo(quick=ctx.quick)
     )
     return record
 
@@ -385,6 +494,9 @@ def main(argv=None) -> int:
                         help="emit only the named record (repeatable)")
     parser.add_argument("--out-dir", default=".",
                         help="directory the records are written into")
+    parser.add_argument("--profile", metavar="PATH", default=None,
+                        help="dump a cProfile of the NAT echo loop to PATH "
+                             "(pstats format; load with pstats.Stats)")
     args = parser.parse_args(argv)
     selected = args.only or sorted(BENCH_EMITTERS)
     os.makedirs(args.out_dir, exist_ok=True)
@@ -423,6 +535,29 @@ def main(argv=None) -> int:
             "  scaled:    {devices} devices in {wall_seconds:.2f}s "
             "({distinct_fingerprints} simulations)".format(**scaled)
         )
+        mc = perf["monte_carlo"]
+        udp = mc["columns"]["udp"]
+        print(
+            "  monte-carlo: {samples} samples -> {distinct_designs} designs; "
+            "UDP punch {rate:.1%} (95% CI {lo:.1%}-{hi:.1%})".format(
+                samples=mc["samples"],
+                distinct_designs=mc["distinct_designs"],
+                rate=udp["rate"],
+                lo=udp["ci95"][0],
+                hi=udp["ci95"][1],
+            )
+        )
+    if args.profile:
+        # A separate profiled run, after the records are emitted, so the
+        # profiler's ~4x call overhead never contaminates a recorded number.
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        bench_packets(rounds=1)
+        profiler.disable()
+        profiler.dump_stats(args.profile)
+        print(f"wrote {args.profile} (cProfile of the NAT echo loop)")
     return 0
 
 

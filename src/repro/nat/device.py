@@ -25,6 +25,7 @@ from repro.netsim.packet import (
     Packet,
     TcpFlags,
     icmp_error_for,
+    next_packet_id,
     tcp_packet,
 )
 from repro.nat.behavior import NatBehavior
@@ -56,6 +57,18 @@ class NatDevice(Router):
         rng: Optional[SeededRng] = None,
     ) -> None:
         super().__init__(name, scheduler)
+        self._wan_iface: Optional[Interface] = None
+        self._wan_link: Optional[Link] = None
+        self._cached_public_ip: Optional[IPv4Address] = None
+        #: Raw 32-bit value of the public IP for the per-packet "is this
+        #: addressed to us / is this a hairpin" compares (int equality is
+        #: C-level; IPv4Address equality is a Python call per packet).
+        self._public_value: Optional[int] = None
+        #: LAN-side routing verdict per destination value (0=no-route,
+        #: 1=wan, 2=lan transit), keyed on the routing-table version like
+        #: the base-class forwarding cache.
+        self._lan_route_cache: dict = {}
+        self._lan_route_version = -1
         self.behavior = behavior or NatBehavior()
         self._rng = rng or SeededRng(0, f"nat/{name}")
         self._wan_name: Optional[str] = None
@@ -73,6 +86,41 @@ class NatDevice(Router):
         # filtered, icmp-unmatched, no-route, ttl-expired, hairpin-refused);
         # feeds the ``nat.drops`` metric via :attr:`drops_by_reason`.
         self._drop_handles: dict = {}
+
+    # -- behavior-derived per-packet constants -----------------------------------
+
+    @property
+    def behavior(self) -> NatBehavior:
+        return self._behavior
+
+    @behavior.setter
+    def behavior(self, value: NatBehavior) -> None:
+        self._behavior = value
+        self._refresh_behavior_cache()
+
+    def _refresh_behavior_cache(self) -> None:
+        """Precompute every per-packet decision that depends only on the
+        (immutable) behavior profile, so the translate path reads plain
+        attributes instead of re-deriving policies per packet."""
+        b = self._behavior
+        self._mapping_by_proto = {p: b.mapping_for(p) for p in IpProtocol}
+        filtering = b.filtering
+        self._filter_open = filtering in (
+            FilteringPolicy.NONE,
+            FilteringPolicy.ENDPOINT_INDEPENDENT,
+        )
+        self._filter_by_port = filtering is FilteringPolicy.ADDRESS_AND_PORT
+        self._conflict_downgrade = b.per_port_conflict_downgrade
+        self._mangles = b.mangles_payload
+        self._refresh_inbound = b.refresh_on_inbound
+        self._session_timers = b.per_session_timers
+        self._udp_timeout = b.udp_timeout
+        #: Outbound-mapping memo: (proto index, folded src, folded dst) ->
+        #: live NatMapping, keyed on :attr:`NatTable.version` so any table
+        #: mutation (create/remove/reset — which is also exactly when the
+        #: §6.3 conflict-downgrade answer can change) drops every entry.
+        self._out_cache: dict = {}
+        self._out_cache_version = -1
 
     def _count_drop(self, reason: str) -> None:
         handle = self._drop_handles.get(reason)
@@ -106,6 +154,14 @@ class NatDevice(Router):
             raise RoutingError(f"{self.name}: WAN already configured")
         interface = self.add_interface("wan", ip, network, link)
         self._wan_name = "wan"
+        self._wan_iface = interface
+        # Identity shortcut for receive(); left unset when another interface
+        # already claimed the link (first interface wins arrival
+        # classification, same as the _iface_by_link scan order).
+        if self._iface_by_link.get(interface.link) is interface:
+            self._wan_link = interface.link
+        self._cached_public_ip = interface.ip
+        self._public_value = interface.ip._value
         if gateway is not None:
             self.routing.add_default("wan", gateway)
         self.table = NatTable(
@@ -163,6 +219,15 @@ class NatDevice(Router):
                 port_base = self.behavior.port_base
         mappings_lost = len(self.table)
         self.table.reset(port_base=port_base)
+        # Forget every memoised routing/forwarding decision: a rebooted box
+        # re-resolves its world from scratch (and any test that rewires
+        # routes around a reboot gets a coherent view either way).
+        self._fwd_cache.clear()
+        self._fwd_version = -1
+        self._lan_route_cache.clear()
+        self._lan_route_version = -1
+        self._out_cache.clear()
+        self._out_cache_version = -1
         if self.flight is not None:
             # Context-free: the reboot breaks every session through this
             # device, so attribution matches it to attempts by time window.
@@ -176,49 +241,142 @@ class NatDevice(Router):
     # -- data path ----------------------------------------------------------------
 
     def receive(self, packet: Packet, link: Link) -> None:
+        """Per-packet entry point.  Both sides of the per-packet path live
+        inline here — the LAN-side triage (hairpin check plus the memoised
+        routing verdict, formerly ``_from_lan``) and the WAN-side inbound
+        translation (formerly ``_inbound``) — because each runs once per
+        forwarded packet and the call frames were the remaining cost."""
         self.packets_received += 1
-        arrival = self._interface_on(link)
+        if link is self._wan_link:
+            dst = packet.dst
+            if dst.ip._value != self._public_value:
+                # Transit traffic not addressed to us: plain routing (an ISP
+                # NAT also routes its public subnet).
+                self.forward(packet, self.wan_interface.link)
+                return
+            proto = packet.proto
+            if proto is IpProtocol.ICMP:
+                self._inbound_icmp(packet)
+                return
+            mapping = self.table._by_public.get(proto.wire_index << 16 | dst.port)
+            if mapping is None:
+                self.inbound_unmatched += 1
+                self._count_drop("no-mapping")
+                self._flight_drop(packet, "no-mapping", self._refuse(packet))
+                return
+            # The filter check, specialised per policy: open filters (NONE /
+            # endpoint-independent) skip it entirely; the by-port policy —
+            # the paper's default NAT and the echo-bench hot path — is one
+            # dict probe plus the §3.6 per-session freshness compare,
+            # inlined here (``_filter_permits`` + ``permits`` are two frames
+            # per packet).
+            if self._filter_open:
+                permitted = True
+            elif self._filter_by_port:
+                src = packet.src
+                last = mapping._remote_activity.get(src.ip._value * 65536 + src.port)
+                permitted = last is not None and (
+                    not self._session_timers
+                    or mapping.proto is not IpProtocol.UDP
+                    or self.scheduler._now - last <= self._udp_timeout
+                )
+            else:
+                permitted = self._filter_permits(mapping, packet.src)
+            if not permitted:
+                self.inbound_refused += 1
+                self._count_drop("filtered")
+                self._flight_drop(packet, "filtered", self._refuse(packet))
+                return
+            # Delivery (formerly ``_deliver_inbound``) — the tail of the
+            # per-packet inbound path.
+            if packet.ttl <= 1:
+                self.packets_dropped += 1
+                self._count_drop("ttl-expired")
+                self._flight_drop(packet, "ttl-expired")
+                return
+            # mapping.note_inbound, inlined (per-packet path).
+            mapping.packets_in += 1
+            if self._refresh_inbound:
+                now = self.scheduler._now
+                mapping.last_activity = now
+                src = packet.src
+                key = src.ip._value * 65536 + src.port
+                activity = mapping._remote_activity
+                if key in activity:
+                    activity[key] = now
+            # Fused copy-and-rewrite, as in ``_translate_outbound``: the
+            # clone's invariants hold by construction, so skip ``copy()`` +
+            # re-assignment.
+            translated = object.__new__(Packet)
+            translated.proto = proto
+            translated.src = packet.src
+            translated.dst = mapping.private
+            translated.payload = packet.payload
+            translated.tcp = packet.tcp
+            translated.icmp = packet.icmp
+            translated.ttl = packet.ttl - 1
+            translated.packet_id = next_packet_id()
+            translated.flow = packet.flow
+            if proto is IpProtocol.TCP:
+                mapping.observe_tcp_flags(packet.tcp.flags, outbound=False, now=self.scheduler._now)
+                if mapping.closing_since is not None:
+                    self.table.schedule_close(mapping, self.behavior.tcp_close_linger)
+            self.translations_in += 1
+            # Forwarding-closure hit inlined, as in ``_translate_outbound``.
+            if self._fwd_version == self.routing.version:
+                closure = self._fwd_cache.get(translated.dst.ip._value)
+                if closure is not None:
+                    closure[0].transmit(translated, self, closure[1])
+                    return
+            self._emit(translated)
+            return
+        arrival = self._iface_by_link.get(link)
         if arrival is None:
             self.packets_dropped += 1
             return
-        if arrival.name == self._wan_name:
-            self._inbound(packet)
-        else:
-            self._from_lan(packet, arrival)
-
-    def _interface_on(self, link: Link) -> Optional[Interface]:
-        for interface in self.interfaces.values():
-            if interface.link is link:
-                return interface
-        return None
-
-    # -- outbound (LAN -> WAN) ------------------------------------------------------
-
-    def _from_lan(self, packet: Packet, arrival: Interface) -> None:
-        if packet.dst.ip == self.public_ip:
+        dst_ip = packet.dst.ip
+        dst_value = dst_ip._value
+        if dst_value == self._public_value:
             self._hairpin(packet)
             return
-        route = self.routing.try_lookup(packet.dst.ip)
-        if route is None:
+        # LAN-side routing verdict, memoised per destination and keyed on
+        # the routing-table version (same invalidation rule as Node._emit).
+        if self._lan_route_version != self.routing.version:
+            self._lan_route_cache.clear()
+            self._lan_route_version = self.routing.version
+            verdict = None
+        else:
+            verdict = self._lan_route_cache.get(dst_value)
+        if verdict is None:
+            route = self.routing.try_lookup(dst_ip)
+            if route is None:
+                verdict = 0
+            elif route.interface == self._wan_name:
+                verdict = 1
+            else:
+                verdict = 2
+            self._lan_route_cache[dst_value] = verdict
+        if verdict == 1:
+            self._translate_outbound(packet)
+        elif verdict == 2:
+            # LAN-to-LAN transit: plain forwarding, no translation.
+            self.forward(packet, arrival.link)
+        else:
             self.packets_dropped += 1
             self._count_drop("no-route")
             self._flight_drop(packet, "no-route")
-            return
-        if route.interface != self._wan_name:
-            # LAN-to-LAN transit: plain forwarding, no translation.
-            self.forward(packet, arrival.link)
-            return
-        self._translate_outbound(packet)
+
+    # -- outbound (LAN -> WAN) ------------------------------------------------------
 
     def _effective_policy(self, proto: IpProtocol, private: Endpoint) -> MappingPolicy:
         """Per-protocol policy, plus the §6.3 downgrade: same private port
         used by two private hosts degrades translation to symmetric."""
         if (
-            self.behavior.per_port_conflict_downgrade
+            self._conflict_downgrade
             and self.table.has_conflicting_private_port(private)
         ):
             return MappingPolicy.ADDRESS_AND_PORT_DEPENDENT
-        return self.behavior.mapping_for(proto)
+        return self._mapping_by_proto[proto]
 
     def _obtain_mapping(self, proto: IpProtocol, private: Endpoint, remote: Endpoint) -> NatMapping:
         policy = self._effective_policy(proto, private)
@@ -247,7 +405,8 @@ class NatDevice(Router):
         return mapping
 
     def _translate_outbound(self, packet: Packet) -> None:
-        if packet.proto is IpProtocol.ICMP:
+        proto = packet.proto
+        if proto is IpProtocol.ICMP:
             self.forward(packet, self.wan_interface.link)
             return
         if packet.ttl <= 1:
@@ -255,20 +414,60 @@ class NatDevice(Router):
             self._count_drop("ttl-expired")
             self._flight_drop(packet, "ttl-expired")
             return
-        mapping = self._obtain_mapping(packet.proto, packet.src, packet.dst)
-        mapping.note_outbound(packet.dst, self.scheduler.now)
-        translated = packet.copy()
-        translated.ttl = packet.ttl - 1
+        src = packet.src
+        dst = packet.dst
+        remote_key = dst.ip._value * 65536 + dst.port
+        table = self.table
+        cache_key = (proto.wire_index, src.ip._value * 65536 + src.port, remote_key)
+        if self._out_cache_version != table.version:
+            self._out_cache.clear()
+            self._out_cache_version = table.version
+            mapping = None
+        else:
+            mapping = self._out_cache.get(cache_key)
+        if mapping is None:
+            mapping = self._obtain_mapping(proto, src, dst)
+            if self._out_cache_version != table.version:
+                # _obtain_mapping created the mapping (version bump), which
+                # may also have changed the §6.3 conflict answer for other
+                # cached flows — start the memo over from just this entry.
+                self._out_cache.clear()
+                self._out_cache_version = table.version
+            self._out_cache[cache_key] = mapping
+        # mapping.note_outbound, inlined: this runs once per outbound packet
+        # and the attribute writes are the entire effect.
+        now = self.scheduler._now
+        mapping._remote_activity[remote_key] = now
+        mapping.last_activity = now
+        mapping.packets_out += 1
+        # Packet.copy + the src/ttl rewrite, fused (one clone per packet).
+        translated = object.__new__(Packet)
+        translated.proto = proto
         translated.src = mapping.public
-        if self.behavior.mangles_payload and translated.payload:
+        translated.dst = dst
+        translated.payload = packet.payload
+        translated.tcp = packet.tcp
+        translated.icmp = packet.icmp
+        translated.ttl = packet.ttl - 1
+        translated.packet_id = next_packet_id()
+        translated.flow = packet.flow
+        if self._mangles and translated.payload:
             translated.payload = self._mangle(
-                translated.payload, packet.src.ip, mapping.public.ip
+                translated.payload, src.ip, mapping.public.ip
             )
-        if packet.proto is IpProtocol.TCP:
-            mapping.observe_tcp_flags(packet.tcp.flags, outbound=True, now=self.scheduler.now)
+        if proto is IpProtocol.TCP:
+            mapping.observe_tcp_flags(packet.tcp.flags, outbound=True, now=now)
             if mapping.closing_since is not None:
                 self.table.schedule_close(mapping, self.behavior.tcp_close_linger)
         self.translations_out += 1
+        # ``Node._emit`` with the forwarding-closure hit hoisted inline; the
+        # miss/invalidation path (and its no-route drop accounting) stays in
+        # ``_emit``.
+        if self._fwd_version == self.routing.version:
+            closure = self._fwd_cache.get(dst.ip._value)
+            if closure is not None:
+                closure[0].transmit(translated, self, closure[1])
+                return
         self._emit(translated)
 
     def _mangle(self, payload: bytes, private_ip: IPv4Address, public_ip: IPv4Address) -> bytes:
@@ -282,61 +481,20 @@ class NatDevice(Router):
 
     # -- inbound (WAN -> LAN) ------------------------------------------------------
 
-    def _inbound(self, packet: Packet) -> None:
-        if packet.dst.ip != self.public_ip:
-            # Transit traffic not addressed to us: plain routing (an ISP NAT
-            # also routes its public subnet).
-            self.forward(packet, self.wan_interface.link)
-            return
-        if packet.proto is IpProtocol.ICMP:
-            self._inbound_icmp(packet)
-            return
-        mapping = self.table.lookup_inbound(packet.proto, packet.dst.port)
-        if mapping is None:
-            self.inbound_unmatched += 1
-            self._count_drop("no-mapping")
-            self._flight_drop(packet, "no-mapping", self._refuse(packet))
-            return
-        if not self._filter_permits(mapping, packet.src):
-            self.inbound_refused += 1
-            self._count_drop("filtered")
-            self._flight_drop(packet, "filtered", self._refuse(packet))
-            return
-        self._deliver_inbound(packet, mapping)
-
     def _filter_permits(self, mapping: NatMapping, remote: Endpoint) -> bool:
-        policy = self.behavior.filtering
-        if policy in (FilteringPolicy.NONE, FilteringPolicy.ENDPOINT_INDEPENDENT):
+        if self._filter_open:
             return True
+        behavior = self._behavior
         now = session_timeout = None
-        if self.behavior.per_session_timers and mapping.proto is IpProtocol.UDP:
+        if behavior.per_session_timers and mapping.proto is IpProtocol.UDP:
             now = self.scheduler.now
-            session_timeout = self.behavior.udp_timeout
+            session_timeout = behavior.udp_timeout
         return mapping.permits(
             remote,
-            by_port=policy is FilteringPolicy.ADDRESS_AND_PORT,
+            by_port=self._filter_by_port,
             now=now,
             session_timeout=session_timeout,
         )
-
-    def _deliver_inbound(self, packet: Packet, mapping: NatMapping) -> None:
-        if packet.ttl <= 1:
-            self.packets_dropped += 1
-            self._count_drop("ttl-expired")
-            self._flight_drop(packet, "ttl-expired")
-            return
-        mapping.note_inbound(
-            self.scheduler.now, self.behavior.refresh_on_inbound, remote=packet.src
-        )
-        translated = packet.copy()
-        translated.ttl = packet.ttl - 1
-        translated.dst = mapping.private
-        if packet.proto is IpProtocol.TCP:
-            mapping.observe_tcp_flags(packet.tcp.flags, outbound=False, now=self.scheduler.now)
-            if mapping.closing_since is not None:
-                self.table.schedule_close(mapping, self.behavior.tcp_close_linger)
-        self.translations_in += 1
-        self._emit(translated)
 
     def _inbound_icmp(self, packet: Packet) -> None:
         """Translate an ICMP error about one of our mapped sessions back to

@@ -19,10 +19,18 @@ from repro.nat.policy import MappingPolicy, PortAllocation
 from repro.util.errors import AddressError
 from repro.util.rng import SeededRng
 
-# A mapping key: (proto, private endpoint, destination qualifier).  The
-# qualifier is None for cone NATs, the remote IP for address-dependent
-# mapping, and the full remote endpoint for symmetric mapping.
-MappingKey = Tuple[IpProtocol, Endpoint, Optional[object]]
+# A mapping key: (proto wire index, private endpoint, destination qualifier),
+# every component a plain int (or None) so key hashing runs entirely at C
+# speed — this dict is probed once per outbound packet.  Endpoints are folded
+# to ``ip_value * 65536 + port``; the qualifier is None for cone NATs, the
+# remote IP value tagged with bit 48 for address-dependent mapping (the tag
+# keeps a bare address from ever colliding with a folded endpoint), and the
+# folded remote endpoint for symmetric mapping.
+MappingKey = Tuple[int, int, Optional[int]]
+
+#: Tag bit distinguishing an address qualifier from an endpoint qualifier
+#: (folded endpoints occupy at most 48 bits).
+_ADDR_QUALIFIER_TAG = 1 << 48
 
 
 def mapping_key(
@@ -32,11 +40,12 @@ def mapping_key(
     remote: Endpoint,
 ) -> MappingKey:
     """Build the table key for *policy* (§5.1)."""
+    private_key = private.ip._value * 65536 + private.port
     if policy is MappingPolicy.ENDPOINT_INDEPENDENT:
-        return (proto, private, None)
+        return (proto.wire_index, private_key, None)
     if policy is MappingPolicy.ADDRESS_DEPENDENT:
-        return (proto, private, remote.ip)
-    return (proto, private, remote)
+        return (proto.wire_index, private_key, remote.ip._value | _ADDR_QUALIFIER_TAG)
+    return (proto.wire_index, private_key, remote.ip._value * 65536 + remote.port)
 
 
 class NatMapping:
@@ -56,12 +65,14 @@ class NatMapping:
         self.key = key
         self.created_at = created_at
         self.last_activity = created_at
-        #: Remote endpoints contacted outbound -> last activity time.  This
-        #: drives inbound filtering AND per-session idle expiry (§3.6: "many
-        #: NATs associate UDP idle timers with individual UDP sessions, so
-        #: sending keep-alives on one session will not keep other sessions
-        #: active").
-        self._remote_activity: Dict[Endpoint, float] = {}
+        #: Remote endpoints contacted outbound -> last activity time, keyed
+        #: by the folded int ``ip_value * 65536 + port`` (C-speed hashing on
+        #: the per-packet update; the address half is recoverable as
+        #: ``key >> 16``).  This drives inbound filtering AND per-session
+        #: idle expiry (§3.6: "many NATs associate UDP idle timers with
+        #: individual UDP sessions, so sending keep-alives on one session
+        #: will not keep other sessions active").
+        self._remote_activity: Dict[int, float] = {}
         # TCP lifetime observation (paper §4 intro: the TCP state machine
         # gives NATs a standard way to learn session lifetime).
         self.tcp_fin_outbound = False
@@ -74,7 +85,9 @@ class NatMapping:
     @property
     def remotes(self) -> Set[Endpoint]:
         """Remote endpoints contacted outbound through this mapping."""
-        return set(self._remote_activity)
+        return {
+            Endpoint(key >> 16, key & 0xFFFF) for key in self._remote_activity
+        }
 
     def permits(
         self,
@@ -89,20 +102,22 @@ class NatMapping:
         applies (§3.6): a remote whose session has been idle longer than the
         timeout no longer passes the filter even though the mapping lives.
         """
-
-        def fresh(candidate: Endpoint) -> bool:
-            if now is None or session_timeout is None:
-                return True
-            return now - self._remote_activity[candidate] <= session_timeout
-
+        activity = self._remote_activity
         if by_port:
-            return remote in self._remote_activity and fresh(remote)
-        return any(
-            r.ip == remote.ip and fresh(r) for r in self._remote_activity
-        )
+            last = activity.get(remote.ip._value * 65536 + remote.port)
+            if last is None:
+                return False
+            return now is None or session_timeout is None or now - last <= session_timeout
+        remote_ip = remote.ip._value
+        for key, last in activity.items():
+            if key >> 16 == remote_ip and (
+                now is None or session_timeout is None or now - last <= session_timeout
+            ):
+                return True
+        return False
 
     def note_outbound(self, remote: Endpoint, now: float) -> None:
-        self._remote_activity[remote] = now
+        self._remote_activity[remote.ip._value * 65536 + remote.port] = now
         self.last_activity = now
         self.packets_out += 1
 
@@ -110,8 +125,11 @@ class NatMapping:
         self.packets_in += 1
         if refresh:
             self.last_activity = now
-            if remote is not None and remote in self._remote_activity:
-                self._remote_activity[remote] = now
+            if remote is not None:
+                key = remote.ip._value * 65536 + remote.port
+                activity = self._remote_activity
+                if key in activity:
+                    activity[key] = now
 
     def observe_tcp_flags(self, flags: TcpFlags, outbound: bool, now: float) -> None:
         """Track close signals so the table can expire dead TCP sessions."""
@@ -155,7 +173,16 @@ class NatTable:
         self._rng = rng or SeededRng(0, "nat-table")
         self._on_expire = on_expire
         self._by_key: Dict[MappingKey, NatMapping] = {}
-        self._by_public: Dict[Tuple[IpProtocol, int], NatMapping] = {}
+        #: Public-port index keyed by ``proto.wire_index << 16 | port`` (one
+        #: int, C-speed hashing — probed once per inbound packet).
+        self._by_public: Dict[int, NatMapping] = {}
+        #: Bumped on every create/remove/reset so callers that memoise
+        #: lookups against this table (NatDevice's outbound-mapping cache)
+        #: can invalidate with one int comparison per packet.  Any event
+        #: that could change a future lookup's answer — including the §6.3
+        #: conflict-downgrade state, which only moves when mappings are
+        #: created or removed — bumps it.
+        self.version = 0
         self._next_port = port_base
         self._timers: Dict[MappingKey, Timer] = {}
         #: private port -> {owner private IP -> live mapping count}.  Kept in
@@ -169,7 +196,9 @@ class NatTable:
     # -- port allocation -------------------------------------------------------
 
     def _port_free(self, proto: IpProtocol, port: int) -> bool:
-        return (proto, port) not in self._by_public and 0 < port <= 0xFFFF
+        return (
+            proto.wire_index << 16 | port
+        ) not in self._by_public and 0 < port <= 0xFFFF
 
     def _allocate_port(self, proto: IpProtocol, private: Endpoint) -> int:
         if self.allocation is PortAllocation.PRESERVING and self._port_free(
@@ -223,15 +252,16 @@ class NatTable:
             created_at=self.scheduler.now,
         )
         self._by_key[key] = mapping
-        self._by_public[(proto, port)] = mapping
+        self._by_public[proto.wire_index << 16 | port] = mapping
         owners = self._private_port_owners.setdefault(private.port, {})
         owners[private.ip] = owners.get(private.ip, 0) + 1
         self.mappings_created += 1
+        self.version += 1
         self._arm_expiry(mapping, idle_timeout)
         return mapping
 
     def lookup_inbound(self, proto: IpProtocol, public_port: int) -> Optional[NatMapping]:
-        return self._by_public.get((proto, public_port))
+        return self._by_public.get(proto.wire_index << 16 | public_port)
 
     def has_conflicting_private_port(self, private: Endpoint) -> bool:
         """True if another private host already maps the same private port
@@ -296,7 +326,10 @@ class NatTable:
 
     def remove(self, mapping: NatMapping) -> None:
         existing = self._by_key.pop(mapping.key, None)
-        self._by_public.pop((mapping.proto, mapping.public.port), None)
+        self._by_public.pop(
+            mapping.proto.wire_index << 16 | mapping.public.port, None
+        )
+        self.version += 1
         timer = self._timers.pop(mapping.key, None)
         if timer is not None:
             timer.cancel()
@@ -322,6 +355,7 @@ class NatTable:
         self._by_key.clear()
         self._by_public.clear()
         self._private_port_owners.clear()
+        self.version += 1
         if port_base is not None:
             self.port_base = port_base
         self._next_port = self.port_base

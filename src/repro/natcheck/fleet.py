@@ -23,6 +23,7 @@ the paper by that same margin; EXPERIMENTS.md discusses it.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -30,7 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.cache import Fingerprint, ResultCache, behavior_fingerprint, mix_seed
 from repro.nat.behavior import NatBehavior
 from repro.nat.device import NatDevice
-from repro.nat.policy import MappingPolicy, TcpRefusalPolicy
+from repro.nat.policy import FilteringPolicy, MappingPolicy, TcpRefusalPolicy
 from repro.natcheck.classify import NatCheckReport
 from repro.natcheck.client import NatCheckClient, NatCheckConfig
 from repro.natcheck.servers import NatCheckServers
@@ -38,6 +39,7 @@ from repro.netsim.link import BACKBONE_LINK, LAN_LINK
 from repro.netsim.network import Network
 from repro.obs.metrics import MetricsRegistry
 from repro.transport.stack import attach_stack
+from repro.util.rng import SeededRng
 
 Count = Tuple[int, int]  # (supporting, reporting)
 
@@ -671,3 +673,148 @@ def run_fleet(
     if metrics is not None and result.cache is not None:
         result.cache.publish(metrics)
     return result
+
+
+# -- Monte-Carlo parameterized populations ------------------------------------
+#
+# Table 1 measures punch success over the *observed* 2004 vendor mix.  The
+# Monte-Carlo mode asks the generalized question: over the NAT *design
+# space* — every combination of the behaviour axes, sampled uniformly —
+# what fraction of devices supports each hole-punching technique?  Each
+# sampled device runs the real NAT Check protocol (the same packet-level
+# measurement as the fleet); the fingerprint dedup makes the sweep cheap,
+# because the sampled space is finite and the same combination is only ever
+# simulated once.
+
+#: The axis options a Monte-Carlo device draws from, one uniform choice per
+#: axis.  ``tcp_mapping=None`` means "inherit the UDP mapping policy" —
+#: included so single-table NATs (the common implementation) appear in the
+#: population alongside split-table ones.
+MONTE_CARLO_AXES: Dict[str, Tuple[object, ...]] = {
+    "mapping": tuple(MappingPolicy),
+    "filtering": tuple(FilteringPolicy),
+    "tcp_mapping": (None,) + tuple(MappingPolicy),
+    "tcp_refusal": tuple(TcpRefusalPolicy),
+    "hairpin_udp": (False, True),
+    "hairpin_tcp": (False, True),
+}
+
+#: Number of distinct devices the axes can express.
+MONTE_CARLO_SPACE = math.prod(len(options) for options in MONTE_CARLO_AXES.values())
+
+
+def sample_behavior(rng: SeededRng) -> NatBehavior:
+    """Draw one NAT design uniformly from :data:`MONTE_CARLO_AXES`.
+
+    The axes are drawn in the fixed dict order above, one ``rng.choice``
+    each, so a given rng stream always reproduces the same device sequence.
+    """
+    draws = {axis: rng.choice(options) for axis, options in MONTE_CARLO_AXES.items()}
+    return NatBehavior(**draws)
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Preferred over the normal approximation because punch-success rates sit
+    near the extremes (a symmetric-heavy draw can yield rates near 0), where
+    the Wald interval collapses or escapes [0, 1].  ``trials == 0`` returns
+    the vacuous (0, 1) interval.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    phat = successes / trials
+    z2 = z * z
+    denominator = 1.0 + z2 / trials
+    centre = phat + z2 / (2.0 * trials)
+    margin = z * math.sqrt(
+        phat * (1.0 - phat) / trials + z2 / (4.0 * trials * trials)
+    )
+    return (
+        max(0.0, (centre - margin) / denominator),
+        min(1.0, (centre + margin) / denominator),
+    )
+
+
+@dataclass
+class MonteCarloColumn:
+    """One punch-technique column of the Monte-Carlo survey."""
+
+    successes: int = 0
+    trials: int = 0
+
+    def add(self, outcome: Optional[bool], weight: int) -> None:
+        if outcome is None:
+            return
+        self.trials += weight
+        if outcome:
+            self.successes += weight
+
+    def to_dict(self) -> Dict[str, object]:
+        low, high = wilson_interval(self.successes, self.trials)
+        return {
+            "successes": self.successes,
+            "trials": self.trials,
+            "rate": self.successes / self.trials if self.trials else 0.0,
+            "ci95": [low, high],
+        }
+
+
+def run_monte_carlo(
+    samples: int = 1500,
+    seed: int = 0,
+    config: Optional[NatCheckConfig] = None,
+) -> Dict[str, object]:
+    """Survey punch success over a uniformly sampled NAT design space.
+
+    Draws *samples* devices via :func:`sample_behavior` (stream
+    ``SeededRng(seed, "monte-carlo")``), dedups them by behavioral
+    fingerprint — the sample space holds :data:`MONTE_CARLO_SPACE` distinct
+    designs, so a large draw repeats combinations — simulates each distinct
+    design once with the full NAT Check protocol, and weights its outcome by
+    the design's multiplicity in the draw.
+
+    Returns a record with, per Table 1 column, the weighted success count,
+    trial count, success rate, and 95% Wilson confidence interval, plus the
+    dedup accounting (``distinct_designs`` is the number of simulations the
+    sweep actually ran).
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    if config is None:
+        config = NatCheckConfig(
+            run_udp_hairpin=True, run_tcp=True, run_tcp_hairpin=True
+        )
+    rng = SeededRng(seed, "monte-carlo")
+    weights: Dict[str, int] = {}
+    designs: Dict[str, Tuple[NatBehavior, Fingerprint]] = {}
+    for _ in range(samples):
+        behavior = sample_behavior(rng)
+        fingerprint = device_fingerprint(behavior, config, seed)
+        weights[fingerprint.full] = weights.get(fingerprint.full, 0) + 1
+        if fingerprint.full not in designs:
+            designs[fingerprint.full] = (behavior, fingerprint)
+
+    columns = {
+        "udp": MonteCarloColumn(),
+        "udp_hairpin": MonteCarloColumn(),
+        "tcp": MonteCarloColumn(),
+        "tcp_hairpin": MonteCarloColumn(),
+    }
+    for full, (behavior, fingerprint) in designs.items():
+        report = check_device(behavior, config, seed=fingerprint.seed)
+        weight = weights[full]
+        columns["udp"].add(report.udp_punch_ok, weight)
+        columns["udp_hairpin"].add(report.udp_hairpin, weight)
+        columns["tcp"].add(report.tcp_punch_ok, weight)
+        columns["tcp_hairpin"].add(report.tcp_hairpin, weight)
+
+    return {
+        "samples": samples,
+        "seed": seed,
+        "space_size": MONTE_CARLO_SPACE,
+        "distinct_designs": len(designs),
+        "columns": {name: column.to_dict() for name, column in columns.items()},
+    }

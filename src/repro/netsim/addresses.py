@@ -71,7 +71,9 @@ class IPv4Address:
         return self._value <= other._value
 
     def __hash__(self) -> int:
-        return hash(("IPv4Address", self._value))
+        # Hashed once per routing/NAT/link dict probe on the per-packet hot
+        # path; hashing the bare int avoids a tuple allocation per probe.
+        return hash(self._value)
 
     def __str__(self) -> str:
         v = self._value
@@ -242,7 +244,10 @@ class Endpoint:
         return (self.ip, self.port) < (other.ip, other.port)
 
     def __hash__(self) -> int:
-        return hash(("Endpoint", self.ip, self.port))
+        # Endpoints key NAT mapping and socket-demux dicts probed per packet;
+        # fold ip/port into one int so no tuple (or nested IPv4Address tuple
+        # hash) is built per probe.
+        return hash(self.ip._value * 65536 + self.port)
 
     def __str__(self) -> str:
         return f"{self.ip}:{self.port}"

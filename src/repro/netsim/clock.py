@@ -10,7 +10,6 @@ order they were scheduled — a property several NAT-race tests rely on.
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, List, Tuple
 
 
@@ -21,7 +20,10 @@ class Timer:
     :meth:`Scheduler.call_later`; user code should never construct one.
     """
 
-    __slots__ = ("when", "_callback", "_args", "_cancelled", "_fired", "_scheduler", "_ctx")
+    __slots__ = (
+        "when", "_callback", "_args", "_cancelled", "_fired", "_scheduler",
+        "_ctx", "_items", "_inext", "_bseq", "_unpack",
+    )
 
     def __init__(
         self,
@@ -36,6 +38,9 @@ class Timer:
         self._cancelled = False
         self._fired = False
         self._scheduler = scheduler
+        #: Batched-delivery queue (see Scheduler.call_later_batched); None
+        #: marks an ordinary single-shot timer.
+        self._items = None
         # Causal context: a timer inherits the context active when it was
         # scheduled and restores it when it fires, so attempt identity flows
         # through arbitrary timer chains (packet deliveries, retransmits,
@@ -100,7 +105,12 @@ class Scheduler:
         #: the fire loops restore it before each callback.
         self.context = None
         self._heap: List[Tuple[float, int, Timer]] = []
-        self._sequence = itertools.count()
+        #: Insertion sequence of the most recently created timer.  A plain
+        #: int (not itertools.count) so callers that coalesce same-instant
+        #: work — Link's delivery batches — can check "has any timer been
+        #: created since?" and only extend a batch when appending preserves
+        #: the scheduler's insertion-order tie-break exactly.
+        self._seq = 0
         #: Cancelled timers still occupying heap slots.
         self._cancelled_in_heap = 0
         #: Lazy removal of cancelled entries (see class docstring); tests
@@ -167,7 +177,8 @@ class Scheduler:
                 f"cannot schedule at t={when:.6f} before now={self._now:.6f}"
             )
         timer = Timer(when, callback, args, self)
-        heapq.heappush(self._heap, (when, next(self._sequence), timer))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (when, seq, timer))
         if len(self._heap) > self.max_queue_depth:
             self.max_queue_depth = len(self._heap)
         return timer
@@ -185,22 +196,81 @@ class Scheduler:
         when = self._now + delay
         timer = Timer(when, callback, args, self)
         heap = self._heap
-        heapq.heappush(heap, (when, next(self._sequence), timer))
+        self._seq = seq = self._seq + 1
+        heapq.heappush(heap, (when, seq, timer))
         if len(heap) > self.max_queue_depth:
             self.max_queue_depth = len(heap)
         return timer
 
+    def call_later_batched(self, delay: float, fire_item: Callable[[Any], None]) -> Timer:
+        """One heap entry that fires many same-instant events.
+
+        Returns a timer whose item list the caller extends (via
+        :meth:`batch_append`); each queued item fires as its *own* scheduler
+        event — one per :meth:`step`, in append order, calling
+        ``fire_item(item)`` — so event granularity, ``events_fired``, and
+        ``run_while`` predicate boundaries are byte-identical to scheduling
+        one timer per item.  Only the heap traffic is coalesced.
+
+        Contract for callers: append only while (a) no other timer has been
+        created since this one (``_seq`` unchanged — the items would have
+        held consecutive sequence numbers, so firing them back-to-back
+        preserves insertion-order tie-breaking exactly) and (b) the timer is
+        still active.  :class:`repro.netsim.link.Link` is the intended
+        caller and enforces both.
+        """
+        timer = self.call_later(delay, fire_item)
+        timer._items = []
+        timer._inext = 0
+        # The creation sequence number, readable by the append-eligibility
+        # check ("has any timer been created since?").
+        timer._bseq = self._seq
+        # Opt-in direct dispatch (see run_until): the creator may set this
+        # True to promise every item is a ``(sender, receiver, packet)``
+        # wire delivery whose effect is exactly
+        # ``receiver.receive(packet, fire_item.__self__)`` for non-None
+        # items — letting the drain loop skip the per-item trampoline call.
+        # ``step`` always goes through ``fire_item``, so the two dispatch
+        # routes must stay observably identical.
+        timer._unpack = False
+        return timer
+
     def step(self) -> bool:
         """Fire the earliest pending event.  Returns False if none remain."""
-        while self._heap:
-            when, _, timer = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            when, _, timer = heap[0]
             if timer._cancelled:
+                heapq.heappop(heap)
                 self._cancelled_in_heap -= 1
                 continue
+            items = timer._items
+            if items is None:
+                heapq.heappop(heap)
+                self._now = when
+                self.events_fired += 1
+                self.context = timer._ctx
+                timer._fire()
+                return True
+            # Batched timer: fire exactly one queued item, leaving the heap
+            # entry in place until the queue drains.  New pushes during the
+            # callback sort after this entry (same when -> higher sequence),
+            # so it is still the top when we pop.
+            i = timer._inext
+            timer._inext = i + 1
             self._now = when
             self.events_fired += 1
             self.context = timer._ctx
-            timer._fire()
+            try:
+                timer._callback(items[i])
+            finally:
+                # Pop-on-drain must happen even when the callback raises, or
+                # the spent entry would fire again with an empty queue.  Pop
+                # from self._heap, not the local binding: a cancellation
+                # inside the callback may have compacted (rebuilt) the heap.
+                if not timer._cancelled and timer._inext >= len(timer._items):
+                    timer._fired = True
+                    heapq.heappop(self._heap)
             return True
         return False
 
@@ -214,18 +284,83 @@ class Scheduler:
             raise ValueError(
                 f"deadline t={deadline:.6f} is before now={self._now:.6f}"
             )
+        # self._heap is re-read every iteration (never cached in a local):
+        # any callback below can cancel timers and trigger a compaction,
+        # which rebuilds — and rebinds — the heap list.
         while self._heap:
             when, _, timer = self._heap[0]
             if when > deadline:
                 break
-            heapq.heappop(self._heap)
             if timer._cancelled:
+                heapq.heappop(self._heap)
                 self._cancelled_in_heap -= 1
                 continue
+            items = timer._items
+            if items is None:
+                heapq.heappop(self._heap)
+                self._now = when
+                self.events_fired += 1
+                self.context = timer._ctx
+                timer._fire()
+                continue
+            # Batched timer: drain the whole queue here instead of looping
+            # back through the heap peek for every item.  This is safe
+            # because nothing can preempt the batch mid-drain: a callback
+            # cannot schedule before `when` (past scheduling is an error)
+            # and anything it schedules AT `when` carries a higher sequence
+            # number, i.e. sorts after this entry — exactly the order the
+            # outer loop would produce one item at a time.  Each item still
+            # counts as its own scheduler event in events_fired.
             self._now = when
-            self.events_fired += 1
+            i = timer._inext
+            callback = timer._callback
+            # Context is constant across the batch and nothing inside a
+            # delivery callback reassigns it, so set it once; events_fired is
+            # accumulated locally and flushed after the drain (per-item
+            # attribute bumps are measurable at batch sizes in the thousands).
             self.context = timer._ctx
-            timer._fire()
+            fired = 0
+            try:
+                # len() is re-read every pass: a same-instant transmit on a
+                # zero-latency link may append to this batch while it fires.
+                if timer._unpack:
+                    # Direct dispatch (see call_later_batched): the creator
+                    # guaranteed ``callback(item)`` is exactly this receive
+                    # call, so skip the per-item trampoline frame.
+                    owner = callback.__self__
+                    while i < len(items):
+                        timer._inext = i + 1
+                        fired += 1
+                        item = items[i]
+                        if item is not None:
+                            item[1].receive(item[2], owner)
+                        if timer._cancelled:
+                            break
+                        i = timer._inext
+                else:
+                    while i < len(items):
+                        timer._inext = i + 1
+                        fired += 1
+                        callback(items[i])
+                        if timer._cancelled:
+                            # Cancelled mid-drain (e.g. the link went down in
+                            # a delivery callback); the dead entry is popped
+                            # by the cancellation branch above on the next
+                            # pass.
+                            break
+                        i = timer._inext
+            finally:
+                self.events_fired += fired
+                # Pop the drained entry even when a callback raises.  Pop
+                # from self._heap, not a local binding: a cancellation
+                # inside a callback may have compacted (rebuilt) the heap.
+                if (
+                    not timer._cancelled
+                    and not timer._fired
+                    and timer._inext >= len(timer._items)
+                ):
+                    timer._fired = True
+                    heapq.heappop(self._heap)
         self._now = deadline
 
     def run(self, max_events: int = 1_000_000, strict: bool = True) -> int:

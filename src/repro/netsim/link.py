@@ -103,6 +103,11 @@ BACKBONE_LINK = LinkProfile(latency=0.005)
 class Link:
     """An L2 segment with one or more attached node interfaces."""
 
+    #: Class-wide switch for the statistical fast path.  The trace-identity
+    #: suite flips this off to prove the fast path is behaviourally inert;
+    #: everything else leaves it on.
+    fast_path_enabled = True
+
     def __init__(
         self,
         scheduler: Scheduler,
@@ -113,7 +118,7 @@ class Link:
     ) -> None:
         self.scheduler = scheduler
         self.name = name
-        self.profile = profile or LinkProfile()
+        self._profile = profile or LinkProfile()
         self._rng = rng or SeededRng(0, f"link/{name}")
         self._trace = trace
         #: FlightRecorder set by ``Network.attach_flight``; None (the
@@ -121,6 +126,10 @@ class Link:
         self._flight = None
         self._attachments: List[Tuple["Node", IPv4Address]] = []
         self._owner_index: Dict[IPv4Address, "Node"] = {}
+        #: Hot mirror of ``_owner_index`` keyed by the raw 32-bit address
+        #: value: int probes hash at C speed, IPv4Address probes pay a
+        #: Python-level ``__hash__`` call per packet.
+        self._owner_values: Dict[int, "Node"] = {}
         self._busy_until = 0.0
         self._up = True
         self._ge_bad = False  # Gilbert-Elliott state: currently in a burst?
@@ -129,6 +138,13 @@ class Link:
         #: in-flight traffic instead of delivering to a dead segment/host.
         self._in_flight: Dict[int, Tuple[Timer, "Node", "Node", Packet]] = {}
         self._flight_seq = itertools.count()
+        #: Pending coalesced-delivery timers (fast path only; see
+        #: Scheduler.call_later_batched), insertion-ordered so flap/detach
+        #: drops replay in schedule order.  Items are (sender, receiver,
+        #: packet) triples; a detached entry is nulled in place.
+        self._batches: Dict[int, Timer] = {}
+        self._open_batch: Optional[Timer] = None
+        self._batch_ids = itertools.count()
         self.packets_sent = 0
         self.packets_dropped = 0
         self.queue_drops = 0
@@ -148,6 +164,58 @@ class Link:
             proto: Counter("link.packets_lost", (("proto", proto.value),))
             for proto in IpProtocol
         }
+        #: Dense ``wire_index``-ordered view of ``_sent_handles`` for the
+        #: fast path (list index + direct ``.value`` bump, no enum hashing).
+        self._sent_by_index: List[Counter] = [
+            self._sent_handles[proto] for proto in IpProtocol
+        ]
+        self._refresh_fast_path()
+        if trace is not None:
+            trace.subscribe(self._refresh_fast_path)
+
+    # -- statistical fast path ---------------------------------------------------
+
+    @property
+    def profile(self) -> LinkProfile:
+        return self._profile
+
+    @profile.setter
+    def profile(self, value: LinkProfile) -> None:
+        self._profile = value
+        self._refresh_fast_path()
+
+    def set_flight(self, flight) -> None:
+        """Attach (or detach, with None) a flight recorder."""
+        self._flight = flight
+        self._refresh_fast_path()
+
+    def _refresh_fast_path(self) -> None:
+        """Re-evaluate the once-per-change gate for the per-packet fast path.
+
+        The fast path is legal exactly when every per-packet branch of the
+        slow path is statically known to be a no-op: link up, no flight
+        recorder, trace absent or disabled, and a plain profile (no loss,
+        burst, jitter, bandwidth, duplication, or reordering).  Zero-valued
+        fault knobs draw no RNG on the slow path either (pinned by
+        ``test_defaults_draw_no_rng``), so both paths consume identical RNG
+        streams — the fast path is observably inert.
+
+        Called from ``__init__``, the ``profile`` setter, :meth:`up` /
+        :meth:`down`, :meth:`set_flight`, and trace enable/disable
+        subscriptions; see docs/performance.md for the invalidation matrix.
+        """
+        p = self._profile
+        self._fast = (
+            self.fast_path_enabled
+            and self._up
+            and self._flight is None
+            and (self._trace is None or not self._trace.enabled)
+            and p.bandwidth_bps is None
+            and not (
+                p.loss or p.jitter or p.burst_enter or p.duplicate or p.reorder
+            )
+        )
+        self._fast_latency = p.latency
 
     @property
     def sent_by_proto(self) -> Dict[IpProtocol, int]:
@@ -166,6 +234,7 @@ class Link:
             raise ValueError(f"duplicate IP {address} on link {self.name}")
         self._attachments.append((node, address))
         self._owner_index[address] = node
+        self._owner_values[address._value] = node
 
     def detach(self, node: "Node") -> None:
         """Remove every attachment belonging to *node*.
@@ -176,6 +245,7 @@ class Link:
         """
         self._attachments = [(n, ip) for n, ip in self._attachments if n is not node]
         self._owner_index = {ip: n for n, ip in self._attachments}
+        self._owner_values = {ip._value: n for n, ip in self._attachments}
         for seq, (timer, sender, receiver, packet) in list(self._in_flight.items()):
             if receiver is node:
                 timer.cancel()
@@ -183,6 +253,15 @@ class Link:
                 self.packets_dropped += 1
                 self._record(packet, sender, receiver, "detach-drop")
                 self._flight_drop(packet, "detach-drop")
+        for timer in self._batches.values():
+            items = timer._items
+            for i in range(timer._inext, len(items)):
+                item = items[i]
+                if item is not None and item[1] is node:
+                    items[i] = None
+                    self.packets_dropped += 1
+                    self._record(item[2], item[0], node, "detach-drop")
+                    self._flight_drop(item[2], "detach-drop")
 
     # -- link state (fault injection) -------------------------------------------
 
@@ -192,10 +271,14 @@ class Link:
 
     def down(self) -> None:
         """Take the segment down: in-flight packets are dropped and further
-        transmissions fail until :meth:`up`.  Idempotent."""
+        transmissions fail until :meth:`up`.  Idempotent.  The Gilbert-
+        Elliott burst chain is reset: a carrier loss tears down whatever
+        channel condition caused the burst, so the segment must not come
+        back "mid-burst" from pre-flap traffic."""
         if not self._up:
             return
         self._up = False
+        self._ge_bad = False
         for timer, sender, receiver, packet in self._in_flight.values():
             timer.cancel()
             self.packets_dropped += 1
@@ -203,13 +286,29 @@ class Link:
             self._record(packet, sender, receiver, "flap-drop")
             self._flight_drop(packet, "flap-drop")
         self._in_flight.clear()
+        for timer in self._batches.values():
+            items = timer._items
+            for i in range(timer._inext, len(items)):
+                item = items[i]
+                if item is not None:
+                    self.packets_dropped += 1
+                    self.flap_drops += 1
+                    self._record(item[2], item[0], item[1], "flap-drop")
+                    self._flight_drop(item[2], "flap-drop")
+            timer.cancel()
+        self._batches.clear()
+        self._open_batch = None
+        self._refresh_fast_path()
 
     def up(self) -> None:
-        """Bring the segment back; the transmit queue restarts empty."""
+        """Bring the segment back; the transmit queue restarts empty and the
+        Gilbert-Elliott chain restarts in the good state."""
         if self._up:
             return
         self._up = True
         self._busy_until = 0.0
+        self._ge_bad = False
+        self._refresh_fast_path()
 
     @property
     def attached_nodes(self) -> List["Node"]:
@@ -227,6 +326,57 @@ class Link:
         on the wire — exactly how a datagram to a non-existent private host
         behaves in the paper's §3.4 scenario.
         """
+        if self._fast:
+            # Statistical fast path: the gate (see _refresh_fast_path) has
+            # already proven every fault/trace/flight branch below is a
+            # no-op, so this block only does the work that observably
+            # happens — counter bumps and a coalesced delivery timer.
+            try:
+                receiver = self._owner_values.get(next_hop_ip._value)
+            except AttributeError:  # next hop given as str/int/bytes
+                receiver = self._owner_index.get(IPv4Address(next_hop_ip))
+            if receiver is None or receiver is sender:
+                self.packets_dropped += 1
+                return False
+            proto = packet.proto
+            self.packets_sent += 1
+            self.bytes_sent += proto.header_bytes + len(packet.payload)
+            self._sent_by_index[proto.wire_index].value += 1
+            scheduler = self.scheduler
+            batch = self._open_batch
+            if (
+                batch is not None
+                and batch._bseq == scheduler._seq
+                and not batch._fired
+                and batch.when == scheduler._now + self._fast_latency
+            ):
+                # No timer was created since the batch's own, so this
+                # delivery would have drawn the very next sequence number at
+                # the same deadline — appending preserves fire order exactly.
+                batch._items.append((sender, receiver, packet))
+            else:
+                batches = self._batches
+                # Batches drain in creation order (constant latency), so
+                # purging spent timers from the front keeps the pending set
+                # small on long runs.
+                while batches:
+                    bid0 = next(iter(batches))
+                    if batches[bid0]._fired:
+                        del batches[bid0]
+                    else:
+                        break
+                batch = scheduler.call_later_batched(
+                    self._fast_latency, self._fire_delivery
+                )
+                batch._bseq = scheduler._seq
+                # Items are (sender, receiver, packet) wire deliveries and
+                # _fire_delivery does nothing else — let run_until's drain
+                # loop dispatch receiver.receive directly.
+                batch._unpack = True
+                batch._items.append((sender, receiver, packet))
+                batches[next(self._batch_ids)] = batch
+                self._open_batch = batch
+            return True
         if not self._up:
             self.packets_dropped += 1
             self.flap_drops += 1
@@ -239,54 +389,76 @@ class Link:
             self._record(packet, sender, None, "no-next-hop")
             self._flight_drop(packet, "no-next-hop")
             return False
-        if self.profile.loss and self._rng.chance(self.profile.loss):
+        if not self._wire_one(packet, sender, receiver, 0.0, dup=False):
+            return False
+        if self.profile.duplicate and self._rng.chance(self.profile.duplicate):
+            # A duplicated datagram trails its original by one extra latency
+            # and is charged/checked like any other wire packet: it takes its
+            # own loss and burst draws, pays the serialization charge, and
+            # can tail-drop — a duplicate is not exempt from the link model.
+            self._wire_one(packet, sender, receiver, self.profile.latency, dup=True)
+        return True
+
+    def _wire_one(
+        self,
+        packet: Packet,
+        sender: "Node",
+        receiver: "Node",
+        extra_delay: float,
+        dup: bool,
+    ) -> bool:
+        """Put one packet (original or duplicate copy) on the wire: fault
+        draws, bandwidth charge, and delivery scheduling.  Returns True if a
+        delivery was scheduled."""
+        profile = self._profile
+        if profile.loss and self._rng.chance(profile.loss):
             self.packets_dropped += 1
             self._lost_handles[packet.proto].inc()
             self._record(packet, sender, receiver, "lost")
             self._flight_drop(packet, "lost")
             return False
-        if self.profile.burst_enter and self._ge_burst_drops(packet):
+        if profile.burst_enter and self._ge_burst_drops(packet):
             self.packets_dropped += 1
             self.burst_drops += 1
             self._lost_handles[packet.proto].inc()
             self._record(packet, sender, receiver, "burst-lost")
             self._flight_drop(packet, "burst-lost")
             return False
-        delay = self.profile.latency
-        if self.profile.jitter:
-            delay += self._rng.uniform(0.0, self.profile.jitter)
-        if self.profile.bandwidth_bps is not None:
+        delay = profile.latency + extra_delay
+        if profile.jitter:
+            delay += self._rng.uniform(0.0, profile.jitter)
+        if profile.bandwidth_bps is not None:
             now = self.scheduler.now
             queue_wait = max(0.0, self._busy_until - now)
             if (
-                self.profile.max_queue_delay is not None
-                and queue_wait > self.profile.max_queue_delay
+                profile.max_queue_delay is not None
+                and queue_wait > profile.max_queue_delay
             ):
                 self.packets_dropped += 1
                 self.queue_drops += 1
                 self._record(packet, sender, receiver, "queue-drop")
                 self._flight_drop(packet, "queue-drop")
                 return False
-            serialization = packet.size * 8 / self.profile.bandwidth_bps
+            serialization = packet.size * 8 / profile.bandwidth_bps
             self._busy_until = now + queue_wait + serialization
             delay += queue_wait + serialization
-        if self.profile.reorder and self._rng.chance(self.profile.reorder):
-            delay += self.profile.reorder_delay
+        if profile.reorder and self._rng.chance(profile.reorder):
+            delay += profile.reorder_delay
             self.packets_reordered += 1
+        if dup:
+            self.duplicates_delivered += 1
         self.packets_sent += 1
         self.bytes_sent += packet.size
         self._sent_handles[packet.proto].inc()
-        self._record(packet, sender, receiver, "sent")
+        self._record(packet, sender, receiver, "duplicated" if dup else "sent")
         self._schedule_delivery(packet, sender, receiver, delay)
-        if self.profile.duplicate and self._rng.chance(self.profile.duplicate):
-            # A duplicated datagram trails its original by one extra latency.
-            self.duplicates_delivered += 1
-            self.packets_sent += 1
-            self.bytes_sent += packet.size
-            self._sent_handles[packet.proto].inc()
-            self._record(packet, sender, receiver, "duplicated")
-            self._schedule_delivery(packet, sender, receiver, delay + self.profile.latency)
         return True
+
+    def _fire_delivery(self, item) -> None:
+        """Deliver one coalesced-batch item (the scheduler fires one item per
+        event; a nulled item was detach-dropped while in flight)."""
+        if item is not None:
+            item[1].receive(item[2], self)
 
     def _ge_burst_drops(self, packet: Packet) -> bool:
         """Advance the Gilbert-Elliott two-state chain one packet and report

@@ -67,7 +67,8 @@ class Network:
             rng=self.rng.child(f"link/{name}"),
             trace=self.trace,
         )
-        link._flight = self.flight
+        if self.flight is not None:
+            link.set_flight(self.flight)
         self.links[name] = link
         return link
 
@@ -95,7 +96,7 @@ class Network:
                 capacity=capacity if capacity is not None else DEFAULT_CAPACITY,
             )
             for link in self.links.values():
-                link._flight = self.flight
+                link.set_flight(self.flight)
             for node in self.nodes.values():
                 node.flight = self.flight
         return self.flight

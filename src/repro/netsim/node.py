@@ -48,6 +48,24 @@ class Node:
         self.interfaces: Dict[str, Interface] = {}
         self.routing = RoutingTable()
         self._protocol_handlers: Dict[IpProtocol, Callable[[Packet], None]] = {}
+        #: Forwarding closures: destination IP (as its raw 32-bit int —
+        #: int keys probe with C-level hashing, IPv4Address keys pay a
+        #: Python-level ``__hash__`` call) -> (link, next_hop) resolved once
+        #: per (destination, routing-table version); see :meth:`_emit`.
+        self._fwd_cache: Dict[int, tuple] = {}
+        self._fwd_version = -1
+        #: Raw int values of IPs this node owns, for the O(1) local-delivery
+        #: test (``packet.dst.ip._value in self._local_ips``).  Kept in sync
+        #: by :meth:`add_interface` (interfaces are never removed).
+        self._local_ips: set = set()
+        #: Per-protocol handlers as a dense list indexed by
+        #: ``IpProtocol.wire_index`` — the hot mirror of
+        #: ``_protocol_handlers`` (same objects, cheaper probe).
+        self._handlers_by_index: List = [None] * len(IpProtocol)
+        #: Arrival-link -> interface (first interface wins, matching the
+        #: historical scan order); NAT devices classify every received
+        #: packet by arrival interface.
+        self._iface_by_link: Dict[Link, Interface] = {}
         self.packets_received = 0
         self.packets_forwarded = 0
         self.packets_dropped = 0
@@ -62,6 +80,8 @@ class Node:
             name=name, ip=IPv4Address(ip), network=IPv4Network(network), link=link
         )
         self.interfaces[name] = interface
+        self._local_ips.add(interface.ip._value)
+        self._iface_by_link.setdefault(link, interface)
         link.attach(self, interface.ip)
         self.routing.add(interface.network, name, next_hop=None)
         return interface
@@ -79,7 +99,9 @@ class Node:
         return [i.ip for i in self.interfaces.values()]
 
     def owns_address(self, ip) -> bool:
-        return self.interface_for(ip) is not None
+        if type(ip) is IPv4Address:
+            return ip._value in self._local_ips
+        return IPv4Address(ip)._value in self._local_ips
 
     # -- protocol handlers ---------------------------------------------------
 
@@ -90,6 +112,7 @@ class Node:
         replaces the handler (used by tests to interpose observers).
         """
         self._protocol_handlers[proto] = handler
+        self._handlers_by_index[proto.wire_index] = handler
 
     # -- data path -----------------------------------------------------------
 
@@ -100,26 +123,56 @@ class Node:
         immediately via the scheduler, preserving async semantics.
         Returns True if the packet was handed to a link (or looped back).
         """
-        if self.owns_address(packet.dst.ip):
+        dst_value = packet.dst.ip._value
+        if dst_value in self._local_ips:
             self.scheduler.call_later(0.0, self.deliver_local, packet)
             return True
+        # ``_emit`` with the forwarding-closure hit inlined (send is once per
+        # originated packet); miss and invalidation fall through to ``_emit``.
+        if self._fwd_version == self.routing.version:
+            closure = self._fwd_cache.get(dst_value)
+            if closure is not None:
+                return closure[0].transmit(packet, self, closure[1])
         return self._emit(packet)
 
     def _emit(self, packet: Packet) -> bool:
-        """Route and transmit without the local-delivery check."""
-        route = self.routing.try_lookup(packet.dst.ip)
-        if route is None:
-            self.packets_dropped += 1
-            return False
-        interface = self.interfaces[route.interface]
-        next_hop = route.next_hop if route.next_hop is not None else packet.dst.ip
-        return interface.link.transmit(packet, self, next_hop)
+        """Route and transmit without the local-delivery check.
+
+        The (link, next_hop) pair for each destination is resolved through
+        the routing table once and memoised as a forwarding closure; the
+        cache is keyed on ``RoutingTable.version`` so any route add/remove
+        (topology change, gateway install, fault rewiring) drops every
+        closure at the next emit.
+        """
+        dst_ip = packet.dst.ip
+        if self._fwd_version != self.routing.version:
+            self._fwd_cache.clear()
+            self._fwd_version = self.routing.version
+            closure = None
+        else:
+            closure = self._fwd_cache.get(dst_ip._value)
+        if closure is None:
+            route = self.routing.try_lookup(dst_ip)
+            if route is None:
+                self.packets_dropped += 1
+                return False
+            link = self.interfaces[route.interface].link
+            next_hop = route.next_hop if route.next_hop is not None else dst_ip
+            closure = (link, next_hop)
+            self._fwd_cache[dst_ip._value] = closure
+        return closure[0].transmit(packet, self, closure[1])
 
     def receive(self, packet: Packet, link: Link) -> None:
         """Entry point for packets arriving from a link."""
         self.packets_received += 1
-        if self.owns_address(packet.dst.ip):
-            self.deliver_local(packet)
+        if packet.dst.ip._value in self._local_ips:
+            # deliver_local, inlined: one packet in every NAT-echo round trip
+            # terminates here, and the extra frame is measurable.
+            handler = self._handlers_by_index[packet.proto.wire_index]
+            if handler is None:
+                self.packets_dropped += 1
+            else:
+                handler(packet)
             return
         if not self.forwards_packets:
             self.packets_dropped += 1
@@ -128,7 +181,7 @@ class Node:
 
     def deliver_local(self, packet: Packet) -> None:
         """Hand a locally-addressed packet to the protocol handler."""
-        handler = self._protocol_handlers.get(packet.proto)
+        handler = self._handlers_by_index[packet.proto.wire_index]
         if handler is None:
             self.packets_dropped += 1
             return

@@ -20,13 +20,36 @@ DEFAULT_TTL = 64
 
 _packet_ids = itertools.count(1)
 
+#: Bound C-level allocator for fresh packet ids — hot constructors (NAT
+#: rewrites, UDP sends) call this instead of ``next(_packet_ids)`` to skip
+#: one builtin dispatch per packet.
+next_packet_id = _packet_ids.__next__
+
 
 class IpProtocol(enum.Enum):
-    """Transport protocol carried by a packet."""
+    """Transport protocol carried by a packet.
+
+    Each member additionally carries two plain instance attributes set right
+    after the class body (enum members accept them):
+
+    - ``wire_index``: a small dense int (0..2) used to index per-protocol
+      lists on hot paths — ``list[proto.wire_index]`` costs one C-level
+      attribute read plus a C-level list index, where ``dict[proto]`` pays a
+      Python-level ``Enum.__hash__`` call per probe.
+    - ``header_bytes``: the on-wire header-size estimate ``Packet.size``
+      adds to the payload length.
+    """
 
     UDP = "udp"
     TCP = "tcp"
     ICMP = "icmp"
+
+
+for _index, _member in enumerate(IpProtocol):
+    _member.wire_index = _index
+IpProtocol.UDP.header_bytes = 28
+IpProtocol.TCP.header_bytes = 40
+IpProtocol.ICMP.header_bytes = 36
 
 
 class TcpFlags(enum.IntFlag):
@@ -167,8 +190,7 @@ class Packet:
     @property
     def size(self) -> int:
         """Approximate on-wire size in bytes (header estimate + payload)."""
-        header = {IpProtocol.UDP: 28, IpProtocol.TCP: 40, IpProtocol.ICMP: 36}[self.proto]
-        return header + len(self.payload)
+        return self.proto.header_bytes + len(self.payload)
 
     def describe(self) -> str:
         """One-line human-readable summary, used by traces and logs."""
@@ -183,8 +205,24 @@ class Packet:
 
 
 def udp_packet(src: Endpoint, dst: Endpoint, payload: bytes = b"") -> Packet:
-    """Convenience constructor for a UDP datagram."""
-    return Packet(proto=IpProtocol.UDP, src=src, dst=dst, payload=payload)
+    """Convenience constructor for a UDP datagram.
+
+    Built like :meth:`Packet.copy` — straight into ``__new__`` — because the
+    UDP send path creates one packet per datagram and the protocol invariants
+    ``__post_init__`` would check (a UDP packet has no TCP/ICMP body) hold by
+    construction here.
+    """
+    packet = object.__new__(Packet)
+    packet.proto = IpProtocol.UDP
+    packet.src = src
+    packet.dst = dst
+    packet.payload = payload
+    packet.tcp = None
+    packet.icmp = None
+    packet.ttl = DEFAULT_TTL
+    packet.packet_id = next(_packet_ids)
+    packet.flow = None
+    return packet
 
 
 def tcp_packet(

@@ -31,6 +31,10 @@ class RoutingTable:
 
     def __init__(self) -> None:
         self._routes: List[Route] = []
+        #: Bumped on every add/remove; nodes key their per-destination
+        #: forwarding caches on this so a topology change invalidates every
+        #: cached routing decision without a subscription mechanism.
+        self.version = 0
 
     def add(self, prefix, interface: str, next_hop=None) -> Route:
         """Install a route; most-specific prefix wins at lookup time."""
@@ -41,6 +45,7 @@ class RoutingTable:
         )
         self._routes.append(route)
         self._routes.sort(key=lambda r: r.prefix.prefix_len, reverse=True)
+        self.version += 1
         return route
 
     def add_default(self, interface: str, next_hop) -> Route:
@@ -50,6 +55,7 @@ class RoutingTable:
     def remove(self, prefix) -> None:
         target = IPv4Network(prefix)
         self._routes = [r for r in self._routes if r.prefix != target]
+        self.version += 1
 
     def lookup(self, destination) -> Route:
         """Return the most specific matching route.

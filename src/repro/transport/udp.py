@@ -16,7 +16,13 @@ from typing import Callable, Dict, Optional, Tuple
 
 from repro.netsim.addresses import Endpoint, IPv4Address
 from repro.netsim.node import Host
-from repro.netsim.packet import IcmpError, Packet, udp_packet
+from repro.netsim.packet import (
+    DEFAULT_TTL,
+    IcmpError,
+    IpProtocol,
+    Packet,
+    next_packet_id,
+)
 from repro.util.errors import BindError
 
 #: Start of the ephemeral port range (IANA suggested range).
@@ -26,8 +32,10 @@ EPHEMERAL_LIMIT = 65535
 DatagramHandler = Callable[[bytes, Endpoint], None]
 ErrorHandler = Callable[[IcmpError], None]
 
-# Bind key: (ip or None for wildcard, port)
-_BindKey = Tuple[Optional[IPv4Address], int]
+# Bind key: (raw 32-bit ip value or None for wildcard, port).  The raw int —
+# not the IPv4Address — keys the dict so the per-datagram demux probe hashes
+# at C speed instead of through a Python-level ``__hash__``.
+_BindKey = Tuple[Optional[int], int]
 
 
 class UdpSocket:
@@ -56,8 +64,21 @@ class UdpSocket:
         if self.closed:
             raise BindError("sendto on closed UDP socket")
         self.datagrams_sent += 1
-        self._stack.datagrams_sent += 1
-        return self._stack.host.send(udp_packet(self.local, dest, payload))
+        stack = self._stack
+        stack.datagrams_sent += 1
+        # ``udp_packet``, inlined: sendto is the per-datagram hot path and
+        # the UDP invariants (no tcp/icmp body) hold by construction.
+        packet = object.__new__(Packet)
+        packet.proto = IpProtocol.UDP
+        packet.src = self.local
+        packet.dst = dest
+        packet.payload = payload
+        packet.tcp = None
+        packet.icmp = None
+        packet.ttl = DEFAULT_TTL
+        packet.packet_id = next_packet_id()
+        packet.flow = None
+        return stack.host.send(packet)
 
     def close(self) -> None:
         """Release the port binding; idempotent."""
@@ -103,7 +124,7 @@ class UdpStack:
         bind_ip = IPv4Address(ip) if ip is not None else None
         if port == 0:
             port = self._allocate_ephemeral(bind_ip)
-        key = (bind_ip, port)
+        key = (bind_ip._value if bind_ip is not None else None, port)
         if key in self._bindings:
             raise BindError(f"{self.host.name}: UDP port {key[1]} already bound")
         source_ip = bind_ip if bind_ip is not None else self.host.primary_ip
@@ -117,7 +138,8 @@ class UdpStack:
             self._next_ephemeral += 1
             if self._next_ephemeral > EPHEMERAL_LIMIT:
                 self._next_ephemeral = EPHEMERAL_BASE
-            if (bind_ip, port) not in self._bindings:
+            key = (bind_ip._value if bind_ip is not None else None, port)
+            if key not in self._bindings:
                 return port
         raise BindError(f"{self.host.name}: UDP ephemeral ports exhausted")
 
@@ -125,15 +147,28 @@ class UdpStack:
         self._bindings = {k: s for k, s in self._bindings.items() if s is not sock}
 
     def handle_packet(self, packet: Packet) -> None:
-        """Demultiplex one inbound UDP packet to a bound socket."""
-        sock = self._lookup(packet.dst)
-        if sock is None:
-            self.packets_dropped += 1
-            return
-        sock._deliver(packet)
+        """Demultiplex one inbound UDP packet to a bound socket.
+
+        This is ``_lookup`` + ``UdpSocket._deliver`` inlined: the demux runs
+        once per delivered datagram and the two extra frames are measurable
+        on the NAT echo path.
+        """
+        dst = packet.dst
+        bindings = self._bindings
+        sock = bindings.get((dst.ip._value, dst.port))
+        if sock is None or sock.closed:
+            sock = bindings.get((None, dst.port))
+            if sock is None or sock.closed:
+                self.packets_dropped += 1
+                return
+        sock.datagrams_received += 1
+        self.datagrams_received += 1
+        callback = sock.on_datagram
+        if callback is not None:
+            callback(packet.payload, packet.src)
 
     def _lookup(self, dst: Endpoint) -> Optional[UdpSocket]:
-        exact = self._bindings.get((dst.ip, dst.port))
+        exact = self._bindings.get((dst.ip._value, dst.port))
         if exact is not None and not exact.closed:
             return exact
         wildcard = self._bindings.get((None, dst.port))

@@ -121,6 +121,61 @@ class TestLinkUpDown:
         assert len(got) == 2
         assert link.duplicates_delivered == 1
 
+    def test_duplicate_charged_against_bandwidth(self):
+        """A duplicated datagram is a real wire packet: it waits behind the
+        original in the transmit queue and pays its own serialization charge
+        (a 28-byte UDP header at 2240 bps = 0.1 s on the wire each)."""
+        profile = LinkProfile(latency=0.01, duplicate=1.0, bandwidth_bps=2240.0)
+        net, link, a, b = _pair(profile, seed=3)
+        arrivals = []
+        b.register_protocol(IpProtocol.UDP, lambda p: arrivals.append(net.now))
+        a.send(udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        net.run()
+        # Original: latency + its own 0.1 s serialization.  Duplicate: one
+        # extra latency behind the original, plus the 0.1 s queue wait for
+        # the wire to free up, plus its own 0.1 s charge.
+        assert arrivals == [pytest.approx(0.11), pytest.approx(0.22)]
+        assert link.packets_sent == 2
+        assert link.bytes_sent == 56  # both copies charged, 28 bytes each
+
+    def test_duplicate_tail_drops_like_any_packet(self):
+        """With a tail-drop queue bound tighter than the original's wire
+        occupancy, the duplicate's queue wait exceeds the bound and it is
+        dropped — a duplicate is not exempt from the queue model."""
+        profile = LinkProfile(
+            latency=0.01,
+            duplicate=1.0,
+            bandwidth_bps=2240.0,
+            max_queue_delay=0.05,
+        )
+        net, link, a, b = _pair(profile, seed=3)
+        got = []
+        b.register_protocol(IpProtocol.UDP, got.append)
+        a.send(udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        net.run()
+        assert len(got) == 1  # only the original made it
+        assert link.queue_drops == 1
+        assert link.duplicates_delivered == 0
+
+    def test_flap_resets_gilbert_elliott_state(self):
+        """A link flap tears down the segment's physical state; the
+        Gilbert-Elliott chain must restart in the good state instead of
+        resuming a pre-flap loss burst."""
+        profile = LinkProfile(
+            latency=0.01, burst_enter=1.0, burst_exit=0.001, burst_loss=1.0
+        )
+        net, link, a, b = _pair(profile, seed=3)
+        a.send(udp_packet(Endpoint("10.0.0.1", 1), Endpoint("10.0.0.2", 2)))
+        net.run()
+        assert link._ge_bad  # burst_enter=1.0: the first packet entered the burst
+        link.down()
+        assert not link._ge_bad
+        # up() must also clear it, independently of down(): stale bad state
+        # while the link is down must not survive the restart.
+        link._ge_bad = True
+        link.up()
+        assert not link._ge_bad
+
     def test_reorder_delays_marked_packets(self):
         net, link, a, b = _pair(LinkProfile(latency=0.01, reorder=1.0, reorder_delay=0.5))
         arrivals = []

@@ -1,0 +1,77 @@
+"""Monte-Carlo NAT population mode (repro.natcheck.fleet.run_monte_carlo).
+
+The sampler draws parameterized NAT designs from the full behavior-axis
+space (rather than the fixed Table 1 vendor list), dedups by behavioral
+fingerprint so each distinct design simulates once, weights outcomes by
+draw multiplicity, and reports punch-success rates with Wilson 95%
+confidence intervals.
+"""
+
+import math
+
+from repro.natcheck.fleet import (
+    MONTE_CARLO_AXES,
+    MONTE_CARLO_SPACE,
+    run_monte_carlo,
+    sample_behavior,
+    wilson_interval,
+)
+from repro.util.rng import SeededRng
+
+
+class TestDesignSpace:
+    def test_space_size_is_axis_product(self):
+        assert MONTE_CARLO_SPACE == math.prod(
+            len(options) for options in MONTE_CARLO_AXES.values()
+        )
+        # 3 mapping x 4 filtering x 4 tcp_mapping x 3 tcp_refusal x 2 x 2
+        assert MONTE_CARLO_SPACE == 576
+
+    def test_sample_behavior_covers_every_axis(self):
+        rng = SeededRng(3, "mc-axis-coverage")
+        draws = [sample_behavior(rng) for _ in range(300)]
+        for axis, options in MONTE_CARLO_AXES.items():
+            seen = {getattr(b, axis) for b in draws}
+            assert seen == set(options), f"axis {axis} not fully explored"
+
+
+class TestWilsonInterval:
+    def test_degenerate_and_clamped(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+        assert wilson_interval(0, 10)[0] == 0.0
+        assert wilson_interval(10, 10)[1] == 1.0
+
+    def test_brackets_the_point_estimate(self):
+        low, high = wilson_interval(5, 10)
+        assert low < 0.5 < high
+
+    def test_narrows_with_more_trials(self):
+        low_small, high_small = wilson_interval(50, 100)
+        low_big, high_big = wilson_interval(500, 1000)
+        assert (high_big - low_big) < (high_small - low_small)
+
+
+class TestRunMonteCarlo:
+    def test_deterministic_for_a_seed(self):
+        first = run_monte_carlo(samples=40, seed=5)
+        second = run_monte_carlo(samples=40, seed=5)
+        assert first == second
+
+    def test_seed_changes_the_draw(self):
+        assert run_monte_carlo(samples=40, seed=5) != run_monte_carlo(
+            samples=40, seed=6
+        )
+
+    def test_dedup_bounds_and_column_shape(self):
+        result = run_monte_carlo(samples=40, seed=5)
+        assert result["samples"] == 40
+        assert result["space_size"] == MONTE_CARLO_SPACE
+        assert 1 <= result["distinct_designs"] <= 40
+        udp = result["columns"]["udp"]
+        # Every sampled design reports a UDP punch verdict, and the weighted
+        # trials must account for every draw (multiplicity preserved).
+        assert udp["trials"] == 40
+        assert udp["ci95"][0] <= udp["rate"] <= udp["ci95"][1]
+        for column in result["columns"].values():
+            assert 0 <= column["trials"] <= 40
+            assert 0.0 <= column["rate"] <= 1.0
