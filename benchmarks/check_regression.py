@@ -39,6 +39,7 @@ GATED_METRICS = ("scheduler_events_per_second", "nat_packets_per_second")
 OPTIONAL_METRICS = (
     "nat_link_packets_per_second",
     "batched_delivery.packets_per_second",
+    "adversarial.attack_packets_per_second",
 )
 
 DEFAULT_TOLERANCE = 0.25
@@ -135,6 +136,22 @@ def main(argv=None) -> int:
         else:
             print(f"[FAIL] {error}")
             failures.append(f"table1_fleet[{label}]")
+    # Adversarial correctness canary: a fresh record carrying the robustness
+    # sweep must report hardening holding for every attack family.  This is
+    # deliberately not a throughput gate — it asserts the adversarial work
+    # never degrades the protected nat_packets_per_second path's semantics.
+    adversarial = fresh.get("adversarial")
+    if isinstance(adversarial, dict):
+        regressed = [
+            family
+            for family, cell in adversarial.get("families", {}).items()
+            if not cell.get("hardening_holds", False)
+        ]
+        if regressed:
+            print(f"[FAIL] adversarial: hardening regressed for {', '.join(regressed)}")
+            failures.append("adversarial.hardening")
+        else:
+            print("[OK] adversarial: hardening holds for every attack family")
     if failures:
         print(
             f"perf regression gate FAILED: {', '.join(failures)} — dropped more "

@@ -21,8 +21,9 @@ Records:
     ``effective_workers``; the parallel timing and ``speedup`` are omitted
     when the host collapses the pool to serial), the fingerprint-cache
     cold/warm comparison (``table1_cached_wall_seconds``,
-    ``dedup_distinct_fingerprints``), and the 100k-device
-    ``scaled_population`` record.
+    ``dedup_distinct_fingerprints``), the 100k-device
+    ``scaled_population`` record, and the ``adversarial`` record (forged
+    packet injection rate plus the robustness sweep's hardening verdicts).
 
 Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--quick] [--only NAME]
 """
@@ -384,6 +385,56 @@ def bench_monte_carlo(quick: bool = False) -> dict:
     return record
 
 
+def bench_adversarial(quick: bool = False) -> dict:
+    """Attack-injection throughput plus the robustness sweep's headline.
+
+    Two numbers: how fast the adversary layer can push forged packets
+    through a live NAT topology (wall-clock injection rate of an
+    :class:`~repro.netsim.adversary.ExhaustionFlood` against a quota-hardened
+    device), and the punch-success rates of the robustness report's quick
+    behaviour subset in all three modes.  The report half is a correctness
+    canary more than a timing: ``hardening_holds`` flipping false in a bench
+    run means an adversarial regression even if every throughput gate passes.
+    """
+    from repro.analysis.robustness import run_robustness
+    from repro.nat.behavior import FULL_CONE, SYMMETRIC
+    from repro.netsim.adversary import ExhaustionFlood, attach_lan_attacker
+    from repro.scenarios.topologies import build_two_nats
+
+    behavior = SYMMETRIC.but(table_capacity=192, max_mappings_per_host=64)
+    sc = build_two_nats(seed=42, behavior_a=behavior, behavior_b=FULL_CONE)
+    mole = attach_lan_attacker(sc.net, sc.nats["A"], ip="10.0.0.66")
+    attacker = ExhaustionFlood(
+        sc.net, host=mole, nat=sc.nats["A"], name="flood", interval=0.01, burst=64
+    )
+    attacker.start()
+    with quiesced_gc():
+        started = time.perf_counter()
+        sc.net.scheduler.run_until(10.0)
+        wall = time.perf_counter() - started
+    attacker.stop()
+    injection_rate = attacker.packets_sent / wall if wall > 0 else 0.0
+
+    started = time.perf_counter()
+    report = run_robustness(seed=42, quick=True)
+    report_wall = time.perf_counter() - started
+    families = {}
+    for family in ("exhaustion-flood", "spoofed-rst", "port-prediction"):
+        families[family] = {
+            mode: report.cell(family, mode).punch_rate
+            for mode in ("baseline", "attacked", "hardened")
+        }
+        families[family]["hardening_holds"] = report.hardening_wins(family)
+    return {
+        "attack_packets_per_second": injection_rate,
+        "attack_packets": attacker.packets_sent,
+        "robustness_devices": report.devices,
+        "robustness_wall_seconds": report_wall,
+        "families": families,
+        "quick": quick,
+    }
+
+
 #: Scale factor that pushes the 380-device fleet past 100k devices.
 SCALED_FACTOR = 264
 
@@ -479,6 +530,9 @@ def emit_perf(ctx: BenchContext) -> dict:
     record["monte_carlo"] = ctx.get(
         "monte_carlo", lambda: bench_monte_carlo(quick=ctx.quick)
     )
+    record["adversarial"] = ctx.get(
+        "adversarial", lambda: bench_adversarial(quick=ctx.quick)
+    )
     return record
 
 
@@ -534,6 +588,16 @@ def main(argv=None) -> int:
         print(
             "  scaled:    {devices} devices in {wall_seconds:.2f}s "
             "({distinct_fingerprints} simulations)".format(**scaled)
+        )
+        adv = perf["adversarial"]
+        holds = all(f["hardening_holds"] for f in adv["families"].values())
+        print(
+            "  adversarial: {rate:,.0f} forged packets/s; robustness "
+            "({devices} devices) hardening {verdict}".format(
+                rate=adv["attack_packets_per_second"],
+                devices=adv["robustness_devices"],
+                verdict="holds" if holds else "REGRESSED",
+            )
         )
         mc = perf["monte_carlo"]
         udp = mc["columns"]["udp"]

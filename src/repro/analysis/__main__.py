@@ -3,12 +3,17 @@
 ``--explain <scenario>`` runs a named failure scenario with the flight
 recorder attached and prints the attribution post-mortem instead of the
 full report (see :mod:`repro.analysis.explain` for the scenario list).
+
+``--robustness`` runs the adversarial sweep instead: every attack family
+from :mod:`repro.netsim.adversary` against the Table 1 fleet in
+baseline / attacked / hardened modes (see :mod:`repro.analysis.robustness`).
 """
 
 import argparse
 
 from repro.analysis.explain import SCENARIOS, render_explanation
 from repro.analysis.report import generate_report
+from repro.analysis.robustness import render_robustness, run_robustness
 
 
 def main() -> None:
@@ -26,11 +31,19 @@ def main() -> None:
     parser.add_argument("--dump-dir", metavar="DIR",
                         help="with --explain: also write the flight log "
                              "(JSONL) and Chrome trace to this directory")
+    parser.add_argument("--robustness", action="store_true",
+                        help="print the robustness-under-adversity report "
+                             "(attack x hardening sweep over the Table 1 "
+                             "fleet) instead of the paper tables; --quick "
+                             "keeps a small diverse behaviour subset")
     args = parser.parse_args()
     try:
         if args.explain:
             print(render_explanation(args.explain, seed=args.seed,
                                      dump_dir=args.dump_dir))
+        elif args.robustness:
+            print(render_robustness(
+                run_robustness(seed=args.seed, quick=args.quick)))
         else:
             print(generate_report(seed=args.seed, quick=args.quick))
     except BrokenPipeError:  # output piped into head etc.

@@ -21,6 +21,12 @@ Scenarios:
                    attempt times out with ``server-dead``.
 ``loss-storm``     The backbone goes down under the endpoint exchange; the
                    attempt's probes all die on the wire (``loss-exhausted``).
+``exhaustion-flood``  A host behind the client's NAT floods the translation
+                   table full before the punch (:mod:`repro.netsim.adversary`);
+                   the attempt fails with ``mapping-exhausted``.
+``spoofed-rst``    An off-path attacker sweeps forged RSTs at the client's
+                   NAT and kills the punched TCP stream; the session attempt
+                   fails with ``spoofed-reset``.
 ================  ==========================================================
 """
 
@@ -132,6 +138,68 @@ def _scenario_loss_storm(seed: int) -> Tuple[FlightRecorder, List[Attempt]]:
     return recorder, recorder.find_attempts("connect.udp")
 
 
+def _scenario_exhaustion_flood(seed: int) -> Tuple[FlightRecorder, List[Attempt]]:
+    import dataclasses
+
+    from repro.nat.behavior import FULL_CONE, SYMMETRIC
+    from repro.netsim.adversary import ExhaustionFlood, attach_lan_attacker
+    from repro.scenarios.topologies import build_two_nats
+
+    # A symmetric NAT with finite translation memory: the punch must
+    # allocate a *fresh* mapping toward the peer, which is exactly the state
+    # the flood burns.  (The cone peer keeps the baseline punchable.)
+    behavior = dataclasses.replace(SYMMETRIC, table_capacity=192)
+    scenario = build_two_nats(
+        seed=seed, behavior_a=behavior, behavior_b=FULL_CONE, flight=True
+    )
+    scenario.register_all_udp()
+    nat_a = scenario.nats["A"]
+    mole = attach_lan_attacker(scenario.net, nat_a, ip="10.0.0.66")
+    attacker = ExhaustionFlood(
+        scenario.net, host=mole, nat=nat_a, name="flood", interval=0.05, burst=64
+    )
+    attacker.start()
+    # Let the flood fill the table before the victim punches.
+    scenario.scheduler.run_until(scenario.scheduler.now + 8.0)
+    failures: list = []
+    scenario.clients["A"].connect_udp(
+        2, on_session=lambda _s: None, on_failure=failures.append
+    )
+    scenario.wait_for(lambda: bool(failures), _DEADLINE)
+    attacker.stop()
+    recorder = scenario.net.flight
+    return recorder, recorder.find_attempts("connect.udp")
+
+
+def _scenario_spoofed_rst(seed: int) -> Tuple[FlightRecorder, List[Attempt]]:
+    from repro.netsim.adversary import SpoofedRstInjector, attach_wan_attacker
+    from repro.scenarios.topologies import build_two_nats
+
+    scenario = build_two_nats(seed=seed, flight=True)
+    scenario.register_all_tcp()
+    streams: list = []
+    scenario.clients["A"].connect_tcp(2, on_stream=streams.append)
+    scenario.wait_for(lambda: bool(streams), _DEADLINE)
+    stream = streams[0]
+    stream.start_keepalives(1.0, broken_after_missed=3)
+    offpath = attach_wan_attacker(scenario.net, scenario.net.links["backbone"])
+    attacker = SpoofedRstInjector(
+        scenario.net,
+        host=offpath,
+        nat=scenario.nats["A"],
+        forged_src=stream.remote,
+        interval=0.1,
+        burst=16,
+    )
+    attacker.start()
+    scenario.wait_for(lambda: stream.broken, _DEADLINE)
+    attacker.stop()
+    recorder = scenario.net.flight
+    return recorder, [
+        a for a in recorder.find_attempts("session.tcp") if a.outcome == "broken"
+    ]
+
+
 SCENARIOS: Dict[str, ScenarioFn] = {
     "symmetric-udp": _scenario_symmetric_udp,
     "hairpin-udp": _scenario_hairpin_udp,
@@ -139,6 +207,8 @@ SCENARIOS: Dict[str, ScenarioFn] = {
     "nat-reboot": _scenario_nat_reboot,
     "server-dead": _scenario_server_dead,
     "loss-storm": _scenario_loss_storm,
+    "exhaustion-flood": _scenario_exhaustion_flood,
+    "spoofed-rst": _scenario_spoofed_rst,
 }
 
 

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 from repro.core import protocol
 from repro.core.auth import message_is_from_peer
 from repro.core.protocol import (
+    TRANSPORT_TCP,
     FrameBuffer,
     Hello,
     StreamData,
@@ -103,6 +104,12 @@ class TcpStream:
         now = client.scheduler.now
         self._last_inbound = now
         self._last_outbound = now
+        #: Set when the puncher selects this stream (session survival clock).
+        self.established_at: Optional[float] = None
+        # Flight recorder wiring; the attempt opens only on selection
+        # (punch-race losers are not sessions).
+        self._flight = getattr(client, "flight", None)
+        self._attempt = None
         conn.on_data = self._feed
         conn.on_close = self._closed_by_peer
         conn.on_error = self._conn_error
@@ -135,11 +142,36 @@ class TcpStream:
             for payload in pending:
                 callback(payload)
 
+    def _begin_session(self, peer_id: int) -> None:
+        """Selected by the puncher: the stream becomes its own flight attempt
+        (child of the requester's connect attempt), so a punched stream that
+        later dies is attributed in the session's window — mirroring
+        :class:`~repro.core.udp_punch.UdpSession`."""
+        self.established_at = self.client.scheduler.now
+        if self.peer_id is None:
+            self.peer_id = peer_id
+        if self._flight is not None and self._attempt is None:
+            self._attempt = self._flight.attempt(
+                "session.tcp",
+                parent=self.client._connect_attempts.get((TRANSPORT_TCP, peer_id)),
+                peer=peer_id,
+                remote=str(self.remote),
+            )
+
+    def _finish_session(self, outcome: str) -> None:
+        if self._attempt is not None:
+            if outcome == "broken":
+                self._flight.record(
+                    "session.broken", peer=self.peer_id, remote=str(self.remote)
+                )
+            self._flight.finish(self._attempt, outcome)
+
     def close(self) -> None:
         if self.closed:
             return
         self.closed = True
         self._stop_keepalives()
+        self._finish_session("closed")
         self.conn.close()
 
     def abort(self) -> None:
@@ -208,6 +240,7 @@ class TcpStream:
         """
         self.broken = True
         self.client.metrics.counter("session.tcp.broken").inc()
+        self._finish_session("broken")
         self.abort()
 
     # -- internals ----------------------------------------------------------------
@@ -265,6 +298,7 @@ class TcpStream:
     def _closed_by_peer(self) -> None:
         self.closed = True
         self._stop_keepalives()
+        self._finish_session("closed")
         if self.on_close is not None:
             self.on_close()
 
@@ -276,6 +310,7 @@ class TcpStream:
         self.broken = True
         self._stop_keepalives()
         self.client.metrics.counter("session.tcp.dead_peer", reason=error.reason).inc()
+        self._finish_session("broken")
         if self.on_close is not None:
             self.on_close()
 
@@ -505,6 +540,9 @@ class TcpHolePuncher:
         self.winner = stream
         stream.selected = True
         stream.conn.on_error = stream._conn_error
+        # Open the session attempt while the connect attempt is still live
+        # (it is popped by _tcp_puncher_finished below) so parenting links up.
+        stream._begin_session(self.peer_id)
         metrics = self.client.metrics
         metrics.counter("punch.tcp.succeeded").inc()
         metrics.counter("punch.tcp.stream_origin", origin=stream.origin).inc()

@@ -9,6 +9,7 @@ from repro.nat.policy import (
     FilteringPolicy,
     MappingPolicy,
     PortAllocation,
+    QuotaPolicy,
     TcpRefusalPolicy,
 )
 
@@ -55,6 +56,27 @@ class NatBehavior:
             independent).  None means "same as ``mapping``".
         hairpin_udp / hairpin_tcp: per-protocol overrides of ``hairpin``
             (Table 1 reports UDP and TCP hairpin support separately).
+        table_capacity: total live mappings the box's translation memory can
+            hold (None = unbounded).  Real consumer NATs run out of table
+            long before they run out of 64k ports — this is what a ReDAN
+            mapping-exhaustion flood actually exhausts.  At capacity, new
+            outbound sessions are refused (packet dropped, ``table-exhausted``).
+        max_mappings_per_host: hardening quota — live mappings any single
+            private host may own (None = no quota).  A flooding LAN host hits
+            its quota and stops consuming table space/ports; legitimate hosts
+            keep allocating.
+        quota_eviction: what happens when a host exceeds its quota —
+            ``REFUSE`` (drop the packet) or ``EVICT_OLDEST`` (reclaim that
+            host's least-recently-active mapping).
+        rst_seq_validation: hardening — the NAT only honours (forwards and
+            tears down state for) an inbound TCP RST whose sequence number
+            matches the last ACK the private host sent out through the
+            mapping; off-path spoofed RSTs with guessed sequence numbers are
+            dropped (``rst-invalid``) and do not kill the mapping.
+        icmp_validation: hardening — inbound ICMP errors must quote not just
+            a live public mapping but a remote endpoint the private host has
+            actually contacted through it; spoofed ICMP aimed at a guessed
+            public port is dropped (``icmp-invalid``).
     """
 
     mapping: MappingPolicy = MappingPolicy.ENDPOINT_INDEPENDENT
@@ -74,6 +96,11 @@ class NatBehavior:
     tcp_mapping: Optional[MappingPolicy] = None
     hairpin_udp: Optional[bool] = None
     hairpin_tcp: Optional[bool] = None
+    table_capacity: Optional[int] = None
+    max_mappings_per_host: Optional[int] = None
+    quota_eviction: QuotaPolicy = QuotaPolicy.REFUSE
+    rst_seq_validation: bool = False
+    icmp_validation: bool = False
 
     # -- per-protocol resolution ---------------------------------------------
 
@@ -178,3 +205,14 @@ PAYLOAD_MANGLER = NatBehavior(mangles_payload=True)
 
 #: Aggressively short UDP idle timeout (§3.6's 20-second NATs).
 SHORT_TIMEOUT = NatBehavior(udp_timeout=20.0)
+
+#: ReDAN-hardened consumer NAT: finite table with a per-host quota, RST
+#: sequence validation, and strict ICMP endpoint validation.  All axes are
+#: punch-neutral — only adversarial traffic ever notices them.
+HARDENED = NatBehavior(
+    table_capacity=2048,
+    max_mappings_per_host=64,
+    quota_eviction=QuotaPolicy.REFUSE,
+    rst_seq_validation=True,
+    icmp_validation=True,
+)

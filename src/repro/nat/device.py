@@ -29,7 +29,7 @@ from repro.netsim.packet import (
     tcp_packet,
 )
 from repro.nat.behavior import NatBehavior
-from repro.nat.mapping import NatMapping, NatTable
+from repro.nat.mapping import NatMapping, NatTable, QuotaExceeded, TableExhausted
 from repro.obs.metrics import Counter
 from repro.nat.policy import FilteringPolicy, MappingPolicy, TcpRefusalPolicy
 from repro.util.errors import RoutingError
@@ -83,9 +83,13 @@ class NatDevice(Router):
         self.payloads_mangled = 0
         self.reboots = 0
         # Pre-bound drop counters, one handle per reason (no-mapping,
-        # filtered, icmp-unmatched, no-route, ttl-expired, hairpin-refused);
+        # filtered, icmp-unmatched, no-route, ttl-expired, hairpin-refused,
+        # table-exhausted, quota-exceeded, rst-invalid, icmp-invalid);
         # feeds the ``nat.drops`` metric via :attr:`drops_by_reason`.
         self._drop_handles: dict = {}
+        #: Pre-bound ``nat.table.exhausted`` handle (satellite metric for the
+        #: exhaustion-flood attack; lazily bound like the drop handles).
+        self._exhausted_handle: Optional[Counter] = None
 
     # -- behavior-derived per-packet constants -----------------------------------
 
@@ -115,6 +119,16 @@ class NatDevice(Router):
         self._refresh_inbound = b.refresh_on_inbound
         self._session_timers = b.per_session_timers
         self._udp_timeout = b.udp_timeout
+        self._rst_validate = b.rst_seq_validation
+        self._icmp_validate = b.icmp_validation
+        # Hardening axes live on the table (where allocation decisions run);
+        # mirror them whenever the behavior changes.  getattr: the behavior
+        # property assigns before __init__ creates self.table.
+        table = getattr(self, "table", None)
+        if table is not None:
+            table.capacity = b.table_capacity
+            table.max_per_host = b.max_mappings_per_host
+            table.quota_eviction = b.quota_eviction
         #: Outbound-mapping memo: (proto index, folded src, folded dst) ->
         #: live NatMapping, keyed on :attr:`NatTable.version` so any table
         #: mutation (create/remove/reset — which is also exactly when the
@@ -146,6 +160,23 @@ class NatDevice(Router):
         """Why packets died here (reason -> count)."""
         return {reason: h.value for reason, h in self._drop_handles.items()}
 
+    def _drop_unallocatable(self, packet: Packet, exc: Exception) -> None:
+        """A new outbound session could not get a mapping: clean drop with
+        the exhaustion/quota reason instead of an unhandled AddressError."""
+        self.packets_dropped += 1
+        if isinstance(exc, QuotaExceeded):
+            reason = "quota-exceeded"
+        else:
+            reason = "table-exhausted"
+            handle = self._exhausted_handle
+            if handle is None:
+                handle = self._exhausted_handle = Counter(
+                    "nat.table.exhausted", (("node", self.name),)
+                )
+            handle.inc()
+        self._count_drop(reason)
+        self._flight_drop(packet, reason)
+
     # -- wiring -----------------------------------------------------------------
 
     def set_wan(self, ip, network, link: Link, gateway=None) -> Interface:
@@ -170,6 +201,9 @@ class NatDevice(Router):
             allocation=self.behavior.port_allocation,
             port_base=self.behavior.port_base,
             rng=self._rng.child("ports"),
+            capacity=self.behavior.table_capacity,
+            max_per_host=self.behavior.max_mappings_per_host,
+            quota_eviction=self.behavior.quota_eviction,
         )
         return interface
 
@@ -286,6 +320,23 @@ class NatDevice(Router):
                 self.inbound_refused += 1
                 self._count_drop("filtered")
                 self._flight_drop(packet, "filtered", self._refuse(packet))
+                return
+            # RFC 5961-style RST hardening: an inbound RST is honoured only
+            # if its sequence number matches the last ACK the private host
+            # sent out through this mapping — an off-path attacker who forged
+            # the peer's endpoint (beating the filter) still has to guess a
+            # live 32-bit sequence number.  Dropped spoofs never refresh
+            # activity, never reach the host, and never close the mapping.
+            if (
+                self._rst_validate
+                and proto is IpProtocol.TCP
+                and packet.tcp.flags & TcpFlags.RST
+                and mapping.last_ack_out is not None
+                and packet.tcp.seq != mapping.last_ack_out
+            ):
+                self.inbound_refused += 1
+                self._count_drop("rst-invalid")
+                self._flight_drop(packet, "rst-invalid")
                 return
             # Delivery (formerly ``_deliver_inbound``) — the tail of the
             # per-packet inbound path.
@@ -426,7 +477,11 @@ class NatDevice(Router):
         else:
             mapping = self._out_cache.get(cache_key)
         if mapping is None:
-            mapping = self._obtain_mapping(proto, src, dst)
+            try:
+                mapping = self._obtain_mapping(proto, src, dst)
+            except (QuotaExceeded, TableExhausted) as exc:
+                self._drop_unallocatable(packet, exc)
+                return
             if self._out_cache_version != table.version:
                 # _obtain_mapping created the mapping (version bump), which
                 # may also have changed the §6.3 conflict answer for other
@@ -456,6 +511,8 @@ class NatDevice(Router):
                 translated.payload, src.ip, mapping.public.ip
             )
         if proto is IpProtocol.TCP:
+            if self._rst_validate and packet.tcp.flags & TcpFlags.ACK:
+                mapping.last_ack_out = packet.tcp.ack
             mapping.observe_tcp_flags(packet.tcp.flags, outbound=True, now=now)
             if mapping.closing_since is not None:
                 self.table.schedule_close(mapping, self.behavior.tcp_close_linger)
@@ -505,6 +562,17 @@ class NatDevice(Router):
             self.inbound_unmatched += 1
             self._count_drop("icmp-unmatched")
             self._flight_drop(packet, "icmp-unmatched")
+            return
+        if self._icmp_validate and not mapping.permits(
+            error.original_dst, by_port=True
+        ):
+            # Strict mode: the quoted inner packet must name a remote the
+            # private host actually contacted through this mapping — a
+            # spoofed ICMP error aimed at a guessed public port quotes a
+            # destination the mapping never talked to.
+            self.inbound_refused += 1
+            self._count_drop("icmp-invalid")
+            self._flight_drop(packet, "icmp-invalid")
             return
         translated = packet.copy()
         translated.ttl = packet.ttl - 1
@@ -570,7 +638,11 @@ class NatDevice(Router):
             self._flight_drop(packet, "hairpin-refused", self._refuse(packet))
             return
         # Source-translate the sender exactly as if the packet left the WAN.
-        src_mapping = self._obtain_mapping(packet.proto, packet.src, packet.dst)
+        try:
+            src_mapping = self._obtain_mapping(packet.proto, packet.src, packet.dst)
+        except (QuotaExceeded, TableExhausted) as exc:
+            self._drop_unallocatable(packet, exc)
+            return
         src_mapping.note_outbound(packet.dst, self.scheduler.now)
         if self.behavior.hairpin_filters and not self._filter_permits(
             dst_mapping, src_mapping.public

@@ -15,9 +15,26 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.netsim.addresses import Endpoint, IPv4Address
 from repro.netsim.clock import Scheduler, Timer
 from repro.netsim.packet import IpProtocol, TcpFlags
-from repro.nat.policy import MappingPolicy, PortAllocation
+from repro.nat.policy import MappingPolicy, PortAllocation, QuotaPolicy
 from repro.util.errors import AddressError
 from repro.util.rng import SeededRng
+
+
+class TableExhausted(AddressError):
+    """The NAT cannot allocate another mapping: translation memory or the
+    dynamic port range is gone (the ReDAN exhaustion-flood end state)."""
+
+
+class QuotaExceeded(AddressError):
+    """One private host hit its per-host mapping quota
+    (:class:`~repro.nat.policy.QuotaPolicy.REFUSE` hardening)."""
+
+
+#: Dynamic (allocatable) public port range — sequential and random allocation
+#: both draw from [1024, 65535].
+DYNAMIC_PORT_MIN = 1024
+DYNAMIC_PORT_MAX = 65535
+DYNAMIC_PORT_SPAN = DYNAMIC_PORT_MAX - DYNAMIC_PORT_MIN + 1
 
 # A mapping key: (proto wire index, private endpoint, destination qualifier),
 # every component a plain int (or None) so key hashing runs entirely at C
@@ -46,6 +63,10 @@ def mapping_key(
     if policy is MappingPolicy.ADDRESS_DEPENDENT:
         return (proto.wire_index, private_key, remote.ip._value | _ADDR_QUALIFIER_TAG)
     return (proto.wire_index, private_key, remote.ip._value * 65536 + remote.port)
+
+
+def _last_activity(mapping: "NatMapping") -> float:
+    return mapping.last_activity
 
 
 class NatMapping:
@@ -79,6 +100,9 @@ class NatMapping:
         self.tcp_fin_inbound = False
         self.tcp_rst_seen = False
         self.closing_since: Optional[float] = None
+        #: Last ACK number the private host sent outbound (RST-hardened NATs
+        #: only honour inbound RSTs whose seq matches it — RFC 5961-style).
+        self.last_ack_out: Optional[int] = None
         self.packets_out = 0
         self.packets_in = 0
 
@@ -165,6 +189,9 @@ class NatTable:
         port_base: int,
         rng: Optional[SeededRng] = None,
         on_expire: Optional[Callable[[NatMapping], None]] = None,
+        capacity: Optional[int] = None,
+        max_per_host: Optional[int] = None,
+        quota_eviction: QuotaPolicy = QuotaPolicy.REFUSE,
     ) -> None:
         self.scheduler = scheduler
         self.public_ip = IPv4Address(public_ip)
@@ -172,6 +199,11 @@ class NatTable:
         self.port_base = port_base
         self._rng = rng or SeededRng(0, "nat-table")
         self._on_expire = on_expire
+        #: Translation-memory bound (None = unbounded) and per-host quota —
+        #: the ReDAN hardening axes, mirrored from NatBehavior by NatDevice.
+        self.capacity = capacity
+        self.max_per_host = max_per_host
+        self.quota_eviction = quota_eviction
         self._by_key: Dict[MappingKey, NatMapping] = {}
         #: Public-port index keyed by ``proto.wire_index << 16 | port`` (one
         #: int, C-speed hashing — probed once per inbound packet).
@@ -183,15 +215,33 @@ class NatTable:
         #: conflict-downgrade state, which only moves when mappings are
         #: created or removed — bumps it.
         self.version = 0
+        #: Bumped on every :meth:`reset`.  Expiry/close timers capture the
+        #: generation they were armed under and no-op if it moved — a rebooted
+        #: NAT can never fire stale (possibly attacker-induced) evictions into
+        #: the new table generation, even if a post-reboot mapping reuses the
+        #: same key and public port.
+        self.generation = 0
         self._next_port = port_base
         self._timers: Dict[MappingKey, Timer] = {}
         #: private port -> {owner private IP -> live mapping count}.  Kept in
         #: sync by create/remove so the §6.3 per-port conflict check is O(1)
         #: per packet instead of a scan over the whole table.
         self._private_port_owners: Dict[int, Dict[IPv4Address, int]] = {}
+        #: proto wire index -> count of in-use ports from the dynamic range.
+        #: This is the O(1) exhaustion check: when it hits DYNAMIC_PORT_SPAN
+        #: the allocator raises immediately instead of scanning 64k ports.
+        self._dynamic_in_use: Dict[int, int] = {}
+        #: private IP value -> {key -> mapping} for quota accounting and
+        #: O(host's mappings) oldest-first eviction.
+        self._by_host: Dict[int, Dict[MappingKey, NatMapping]] = {}
         self.mappings_created = 0
         self.mappings_expired = 0
         self.mappings_lost_to_reset = 0
+        #: Allocation attempts refused because table memory / the port range
+        #: was gone (drives the ``nat.table.exhausted`` metric).
+        self.exhaustions = 0
+        self.quota_refusals = 0
+        self.quota_evictions = 0
 
     # -- port allocation -------------------------------------------------------
 
@@ -205,22 +255,33 @@ class NatTable:
             proto, private.port
         ):
             return private.port
+        # O(1) exhaustion check: _dynamic_in_use mirrors exactly the ports the
+        # loops below may return, so "count == span" means no scan (random: no
+        # draw sequence, sequential: no walk) can succeed — refuse cleanly
+        # instead of spinning the whole range per doomed allocation.
+        if self._dynamic_in_use.get(proto.wire_index, 0) >= DYNAMIC_PORT_SPAN:
+            self.exhaustions += 1
+            raise TableExhausted(
+                f"NAT public ports exhausted ({self.allocation.value}): "
+                f"all {DYNAMIC_PORT_SPAN} dynamic {proto.value} ports in use"
+            )
         if self.allocation is PortAllocation.RANDOM:
             for _ in range(4096):
-                port = self._rng.randint(1024, 65535)
+                port = self._rng.randint(DYNAMIC_PORT_MIN, DYNAMIC_PORT_MAX)
                 if self._port_free(proto, port):
                     return port
-            raise AddressError("NAT public ports exhausted (random)")
+            self.exhaustions += 1
+            raise TableExhausted("NAT public ports exhausted (random)")
         # SEQUENTIAL (also the PRESERVING fallback): the paper's NATs hand out
         # 62000, 62001, ... predictably (§5.1 port prediction relies on this).
-        for _ in range(65536):
+        # The free-count check above guarantees this walk terminates.
+        while True:
             port = self._next_port
             self._next_port += 1
-            if self._next_port > 65535:
-                self._next_port = 1024
+            if self._next_port > DYNAMIC_PORT_MAX:
+                self._next_port = DYNAMIC_PORT_MIN
             if self._port_free(proto, port):
                 return port
-        raise AddressError("NAT public ports exhausted (sequential)")
 
     # -- lookup / creation ----------------------------------------------------------
 
@@ -241,8 +302,33 @@ class NatTable:
         remote: Endpoint,
         idle_timeout: float,
     ) -> NatMapping:
-        """Allocate a new mapping for an outbound session."""
+        """Allocate a new mapping for an outbound session.
+
+        Raises :class:`TableExhausted` when translation memory
+        (``capacity``) or the dynamic port range is gone, and
+        :class:`QuotaExceeded` when *private*'s host is over its per-host
+        quota under :class:`~repro.nat.policy.QuotaPolicy.REFUSE`.
+        """
         key = mapping_key(policy, proto, private, remote)
+        host_key = private.ip._value
+        if self.max_per_host is not None:
+            owned = self._by_host.get(host_key)
+            if owned is not None and len(owned) >= self.max_per_host:
+                if self.quota_eviction is QuotaPolicy.EVICT_OLDEST:
+                    oldest = min(owned.values(), key=_last_activity)
+                    self.quota_evictions += 1
+                    self.remove(oldest)
+                else:
+                    self.quota_refusals += 1
+                    raise QuotaExceeded(
+                        f"host {private.ip} over mapping quota "
+                        f"({self.max_per_host})"
+                    )
+        if self.capacity is not None and len(self._by_key) >= self.capacity:
+            self.exhaustions += 1
+            raise TableExhausted(
+                f"NAT mapping table full ({self.capacity} entries)"
+            )
         port = self._allocate_port(proto, private)
         mapping = NatMapping(
             proto=proto,
@@ -255,10 +341,19 @@ class NatTable:
         self._by_public[proto.wire_index << 16 | port] = mapping
         owners = self._private_port_owners.setdefault(private.port, {})
         owners[private.ip] = owners.get(private.ip, 0) + 1
+        self._by_host.setdefault(host_key, {})[key] = mapping
+        if DYNAMIC_PORT_MIN <= port <= DYNAMIC_PORT_MAX:
+            wire = proto.wire_index
+            self._dynamic_in_use[wire] = self._dynamic_in_use.get(wire, 0) + 1
         self.mappings_created += 1
         self.version += 1
         self._arm_expiry(mapping, idle_timeout)
         return mapping
+
+    def mappings_for_host(self, private_ip) -> int:
+        """Live mappings owned by one private host (quota introspection)."""
+        owned = self._by_host.get(IPv4Address(private_ip)._value)
+        return len(owned) if owned else 0
 
     def lookup_inbound(self, proto: IpProtocol, public_port: int) -> Optional[NatMapping]:
         return self._by_public.get(proto.wire_index << 16 | public_port)
@@ -295,10 +390,15 @@ class NatTable:
             self._check_expiry,
             mapping,
             idle_timeout,
+            self.generation,
         )
 
-    def _check_expiry(self, mapping: NatMapping, idle_timeout: float) -> None:
+    def _check_expiry(
+        self, mapping: NatMapping, idle_timeout: float, generation: int
+    ) -> None:
         """Lazy expiry: if activity happened since arming, re-arm; else drop."""
+        if generation != self.generation:
+            return  # armed before a reset; never touch the new generation
         if self._by_key.get(mapping.key) is not mapping:
             return  # already removed
         if mapping.closing_since is not None:
@@ -317,10 +417,12 @@ class NatTable:
         if timer is not None:
             timer.cancel()
         self._timers[mapping.key] = self.scheduler.call_later(
-            linger, self._close_now, mapping
+            linger, self._close_now, mapping, self.generation
         )
 
-    def _close_now(self, mapping: NatMapping) -> None:
+    def _close_now(self, mapping: NatMapping, generation: int) -> None:
+        if generation != self.generation:
+            return
         if self._by_key.get(mapping.key) is mapping:
             self.remove(mapping)
 
@@ -335,6 +437,19 @@ class NatTable:
             timer.cancel()
         if existing is not None:
             self._unindex_private(existing.private)
+            owned = self._by_host.get(existing.private.ip._value)
+            if owned is not None:
+                owned.pop(existing.key, None)
+                if not owned:
+                    del self._by_host[existing.private.ip._value]
+            port = existing.public.port
+            if DYNAMIC_PORT_MIN <= port <= DYNAMIC_PORT_MAX:
+                wire = existing.proto.wire_index
+                count = self._dynamic_in_use.get(wire, 0) - 1
+                if count > 0:
+                    self._dynamic_in_use[wire] = count
+                else:
+                    self._dynamic_in_use.pop(wire, None)
         if self._on_expire is not None:
             self._on_expire(mapping)
 
@@ -355,7 +470,14 @@ class NatTable:
         self._by_key.clear()
         self._by_public.clear()
         self._private_port_owners.clear()
+        self._by_host.clear()
+        self._dynamic_in_use.clear()
         self.version += 1
+        # New table generation: any timer armed before this instant —
+        # including attacker-induced quota evictions and close lingers whose
+        # Timer handles leaked out of _timers via re-arming races — becomes a
+        # guaranteed no-op even if it still fires.
+        self.generation += 1
         if port_base is not None:
             self.port_base = port_base
         self._next_port = self.port_base

@@ -199,6 +199,7 @@ def check_invariants(
     attempts: Optional[AttemptTracker] = None,
     pending_timer_cap: Optional[int] = None,
     nat_table_cap: int = 256,
+    leak_probes: Iterable[object] = (),
 ) -> List[str]:
     """Evaluate the global invariants; returns human-readable violations.
 
@@ -211,7 +212,13 @@ def check_invariants(
             down — a bounded residue (e.g. TIME_WAIT timers) is normal, an
             ever-growing heap is a leak.
         nat_table_cap: upper bound on any NAT's mapping-table size; unbounded
-            growth means expiry timers were lost.
+            growth means expiry timers were lost.  When a NAT declares its
+            own ``table.capacity`` (adversarial hardening, see
+            :mod:`repro.netsim.adversary`) that bound is enforced instead —
+            a flood must never push a table past its configured memory.
+        leak_probes: :class:`~repro.netsim.adversary.LeakProbe` instances (or
+            anything with a ``violations`` list); any cross-peer payload
+            leak they witnessed becomes an invariant violation.
     """
     violations: List[str] = []
     if attempts is not None:
@@ -228,12 +235,35 @@ def check_invariants(
         table = getattr(nat, "table", None)
         if table is None:
             continue
+        name = getattr(nat, "name", repr(nat))
         size = len(table)
-        if size > nat_table_cap:
-            name = getattr(nat, "name", repr(nat))
+        cap = getattr(table, "capacity", None)
+        if cap is None:
+            cap = nat_table_cap
+        if size > cap:
             violations.append(
-                f"NAT {name} table unbounded: {size} mappings (cap {nat_table_cap})"
+                f"NAT {name} table unbounded: {size} mappings (cap {cap})"
             )
+        # Per-host quota: a quota the table advertises must actually hold.
+        quota = getattr(table, "max_per_host", None)
+        by_host = getattr(table, "_by_host", None)
+        if quota is not None and by_host is not None:
+            for host_key, owned in by_host.items():
+                if len(owned) > quota:
+                    violations.append(
+                        f"NAT {name} quota violated: host {host_key} holds "
+                        f"{len(owned)} mappings (quota {quota})"
+                    )
+        # Timer/table skew: more armed expiry timers than live mappings
+        # means stale generations are still wired to fire.
+        timers = getattr(table, "_timers", None)
+        if timers is not None and len(timers) > size:
+            violations.append(
+                f"NAT {name} timer skew: {len(timers)} expiry timers for "
+                f"{size} mappings"
+            )
+    for probe in leak_probes:
+        violations.extend(getattr(probe, "violations", ()))
     return violations
 
 

@@ -16,6 +16,14 @@ causes the paper reasons about informally:
   the device.
 * ``nat-reboot`` — the device lost its translation state mid-session
   (§3.6); every previously punched hole silently broke.
+* ``mapping-exhausted`` — the NAT refused to allocate a mapping for the
+  attempt's own packets: its translation table (or the attempt's per-host
+  quota) was full, typically because an adversarial flood (see
+  :mod:`repro.netsim.adversary`) burned the state the punch needed.
+* ``spoofed-reset`` — an off-path attacker was sweeping forged RST/ICMP
+  at the NAT during the attempt window and the session died by reset;
+  hardened runs leave ``rst-invalid`` drops / ``tcp.rst_rejected``
+  events instead of a corpse.
 * ``rst-by-nat`` — the NAT actively refused an unsolicited SYN with a RST
   or ICMP error (§5.2), killing the TCP simultaneous-open dance.
 * ``server-dead`` — the rendezvous server was killed/unreachable during
@@ -44,6 +52,8 @@ from repro.obs.flight import Attempt, FlightEvent, FlightRecorder
 
 CAT_NONE = "none"
 CAT_NAT_REBOOT = "nat-reboot"
+CAT_EXHAUSTED = "mapping-exhausted"
+CAT_SPOOFED = "spoofed-reset"
 CAT_HAIRPIN = "hairpin-unsupported"
 CAT_SYMMETRIC = "symmetric-mapping-mismatch"
 CAT_RST = "rst-by-nat"
@@ -56,6 +66,8 @@ CAT_UNKNOWN = "unknown"
 #: Every failure category, in rule-priority order.
 CATEGORIES = (
     CAT_NAT_REBOOT,
+    CAT_EXHAUSTED,
+    CAT_SPOOFED,
     CAT_HAIRPIN,
     CAT_SYMMETRIC,
     CAT_RST,
@@ -160,7 +172,58 @@ def explain(attempt: Attempt, recorder: FlightRecorder) -> Verdict:
             attempt,
         )
 
-    # 2. Hairpin refusals (these may themselves have emitted a RST, so they
+    # 2. Allocation refused: the attempt's own packets could not get a
+    # mapping — the table (or this host's quota) was full.  Tested right
+    # after reboots because an exhausted table also looks like silence or
+    # plain filtering downstream.
+    starved = _drops(timeline, "table-exhausted", "quota-exceeded")
+    if starved:
+        node = starved[0].attrs.get("node")
+        floods = [
+            e
+            for e in timeline
+            if e.kind == "attack" and e.attrs.get("family") == "exhaustion-flood"
+        ]
+        blame = (
+            " while an exhaustion flood was running"
+            if floods
+            else ""
+        )
+        return Verdict(
+            CAT_EXHAUSTED,
+            f"NAT {node} refused to allocate a mapping for "
+            f"{len(starved)} outbound packet(s) — translation state was "
+            f"exhausted{blame}; the punch never got a public endpoint",
+            starved + floods[:3],
+            attempt,
+        )
+
+    # 3. Off-path spoofed reset: the session died by RST/ICMP while a
+    # spoofed-rst attack was sweeping the NAT in this window.  Must outrank
+    # inbound-filtered — the sweep's misses also shed filter drops.
+    sweeps = [
+        e
+        for e in timeline
+        if e.kind == "attack" and e.attrs.get("family") == "spoofed-rst"
+    ]
+    if sweeps:
+        died = [
+            e
+            for e in timeline
+            if e.kind == "session.broken" or e.kind == "attempt.end"
+        ]
+        if attempt.outcome in ("broken", "failed", "timeout", "deadline"):
+            return Verdict(
+                CAT_SPOOFED,
+                f"an off-path attacker ({sweeps[0].attrs.get('attacker')}) was "
+                f"sweeping forged resets at {sweeps[0].attrs.get('target')} "
+                f"during this window ({len(sweeps)} burst(s)) and the session "
+                "died by reset — spoofed RST/ICMP teardown",
+                sweeps[:5] + died,
+                attempt,
+            )
+
+    # 4. Hairpin refusals (these may themselves have emitted a RST, so they
     # must be tested before the RST rule).
     hairpin = _drops(timeline, "hairpin-refused")
     if hairpin:
@@ -174,12 +237,24 @@ def explain(attempt: Attempt, recorder: FlightRecorder) -> Verdict:
             attempt,
         )
 
-    # 3. Symmetric-mapping port mismatch.  Checked before plain filter drops
+    # 5. Symmetric-mapping port mismatch.  Checked before plain filter drops
     # because a failed punch through a symmetric NAT also sheds by-design
     # filter drops (e.g. NAT Check's unsolicited secondary probe).
     divergence = _mapping_divergence(timeline)
     if divergence is not None:
         events, reason = divergence
+        races = [
+            e
+            for e in timeline
+            if e.kind == "attack" and e.attrs.get("family") == "port-prediction"
+        ]
+        if races:
+            reason += (
+                f"; a port-prediction racer ({races[0].attrs.get('attacker')}) "
+                "was churning the sequential allocator, sliding the mapping "
+                "past the predicted window"
+            )
+            events = events + races[:3]
         return Verdict(CAT_SYMMETRIC, reason, events, attempt)
     non_ei = [
         e
@@ -199,7 +274,7 @@ def explain(attempt: Attempt, recorder: FlightRecorder) -> Verdict:
             attempt,
         )
 
-    # 4. Active refusal: the NAT answered an unsolicited SYN with RST/ICMP.
+    # 6. Active refusal: the NAT answered an unsolicited SYN with RST/ICMP.
     refused = [
         e
         for e in timeline
@@ -217,7 +292,7 @@ def explain(attempt: Attempt, recorder: FlightRecorder) -> Verdict:
             attempt,
         )
 
-    # 5. Passive inbound filtering / no mapping at all.
+    # 7. Passive inbound filtering / no mapping at all.
     if blocked:
         node = blocked[0].attrs.get("node")
         return Verdict(
@@ -228,7 +303,7 @@ def explain(attempt: Attempt, recorder: FlightRecorder) -> Verdict:
             attempt,
         )
 
-    # 6. Rendezvous server killed in the attempt window.
+    # 8. Rendezvous server killed in the attempt window.
     dead = [
         e
         for e in timeline
@@ -243,7 +318,7 @@ def explain(attempt: Attempt, recorder: FlightRecorder) -> Verdict:
             attempt,
         )
 
-    # 7. Link loss consumed the probe budget.
+    # 9. Link loss consumed the probe budget.
     lost = [
         e
         for e in timeline
@@ -259,7 +334,7 @@ def explain(attempt: Attempt, recorder: FlightRecorder) -> Verdict:
             attempt,
         )
 
-    # 8. Deadline ran out with no sharper signal.
+    # 10. Deadline ran out with no sharper signal.
     if attempt.outcome in ("timeout", "deadline"):
         return Verdict(
             CAT_TIMEOUT,

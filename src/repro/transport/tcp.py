@@ -362,7 +362,7 @@ class TcpConnection:
         """RFC-793-style per-state processing of one inbound segment."""
         header = packet.tcp
         if header.is_rst:
-            self._handle_rst()
+            self._handle_rst(header)
             return
         handler = {
             TcpState.SYN_SENT: self._segment_in_syn_sent,
@@ -378,11 +378,39 @@ class TcpConnection:
         if handler is not None:
             handler(packet)
 
-    def _handle_rst(self) -> None:
+    def _handle_rst(self, header) -> None:
+        if self.state is TcpState.CLOSED:
+            return
+        if self.stack.rst_seq_validation and not self._rst_acceptable(header):
+            self.stack.rsts_rejected += 1
+            flight = getattr(self.stack.host, "flight", None)
+            if flight is not None:
+                # Context-free: a rejected spoof is evidence for whichever
+                # session attempt it lands inside (spoofed-reset taxonomy).
+                flight.record_global(
+                    "tcp.rst_rejected",
+                    host=self.stack.host.name,
+                    local=str(self.local),
+                    remote=str(self.remote),
+                    seq=header.seq,
+                )
+            return
         if self.state is TcpState.SYN_SENT:
             self._fail(ConnectionError_("reset", "connection refused/reset during connect"))
-        elif self.state is not TcpState.CLOSED:
+        else:
             self._fail(ConnectionError_("reset", "connection reset by peer"))
+
+    def _rst_acceptable(self, header) -> bool:
+        """RFC 5961-style check: is this RST plausibly from our real peer?
+
+        In SYN_SENT a legitimate refusal acknowledges our SYN (ack == ISS+1);
+        synchronized states require the RST to sit exactly at ``rcv_nxt``.
+        Before the peer's sequence space is known (``rcv_nxt`` is None) there
+        is nothing to validate against, so the RST is accepted.
+        """
+        if self.state is TcpState.SYN_SENT:
+            return header.has(TcpFlags.ACK) and header.ack == seq_add(self.iss, 1)
+        return self.rcv_nxt is None or header.seq == self.rcv_nxt
 
     def _acceptable_ack(self, header) -> bool:
         return header.has(TcpFlags.ACK) and seq_ge(header.ack, seq_add(self.iss, 1)) and seq_ge(
@@ -507,9 +535,11 @@ class TcpConnection:
 
     def _icmp_error(self, error: IcmpError) -> None:
         """ICMP error attributed to this connection's traffic."""
-        if self.state is TcpState.SYN_SENT:
+        if self.state is TcpState.SYN_SENT and not self.stack.icmp_validation:
             self._fail(ConnectionError_("unreachable", f"icmp {error.icmp_type.value}"))
-        # Soft error once established: ignored, retransmission recovers.
+        # Soft error otherwise (always, when hardened — RFC 1122 4.2.3.9):
+        # ignored, retransmission recovers; a spoofed ICMP cannot kill the
+        # connect race.
 
     def __repr__(self) -> str:
         return (
@@ -583,9 +613,22 @@ class TcpStack:
         style: TcpStyle = TcpStyle.BSD,
         rng: Optional[SeededRng] = None,
         simultaneous_open_supported: bool = True,
+        rst_seq_validation: bool = False,
+        icmp_validation: bool = False,
     ) -> None:
         self.host = host
         self.style = style
+        #: RFC 5961-flavoured hardening: only honour an RST whose sequence
+        #: number is exactly what we expect next (``rcv_nxt``, or in SYN_SENT
+        #: an ACK of our ISS+1).  Off-path spoofed RSTs with guessed sequence
+        #: numbers are counted in :attr:`rsts_rejected` and ignored.  Every
+        #: in-sim legitimate RST producer passes this check, so turning it on
+        #: only ever filters forged traffic.
+        self.rst_seq_validation = rst_seq_validation
+        #: RFC 1122 4.2.3.9 "soft error" hardening: with this on, ICMP errors
+        #: never abort a SYN_SENT connect — retransmission decides — so a
+        #: spoofed ICMP cannot tear down the connect race.
+        self.icmp_validation = icmp_validation
         #: §4.5: "Windows hosts prior to XP Service Pack 2 did not correctly
         #: implement simultaneous TCP open".  When False, a raw SYN arriving
         #: for a socket in SYN_SENT is answered with RST instead of entering
@@ -599,6 +642,8 @@ class TcpStack:
         self._next_ephemeral = 49152
         self.segments_dropped = 0
         self.rsts_sent = 0
+        #: RSTs ignored by the sequence-validation hardening (spoof evidence).
+        self.rsts_rejected = 0
         #: Segments re-sent after their first transmission (SYN, data, FIN).
         self.retransmits = 0
         #: Retransmission timer expiries that found live work to retry.
