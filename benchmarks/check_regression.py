@@ -40,6 +40,7 @@ OPTIONAL_METRICS = (
     "nat_link_packets_per_second",
     "batched_delivery.packets_per_second",
     "adversarial.attack_packets_per_second",
+    "rendezvous_scale.registrations_per_second",
 )
 
 DEFAULT_TOLERANCE = 0.25

@@ -22,8 +22,11 @@ Records:
     when the host collapses the pool to serial), the fingerprint-cache
     cold/warm comparison (``table1_cached_wall_seconds``,
     ``dedup_distinct_fingerprints``), the 100k-device
-    ``scaled_population`` record, and the ``adversarial`` record (forged
-    packet injection rate plus the robustness sweep's hardening verdicts).
+    ``scaled_population`` record, the ``adversarial`` record (forged
+    packet injection rate plus the robustness sweep's hardening verdicts),
+    and the ``rendezvous_scale`` record (the sharded registration plane at
+    10k/100k/1M peers vs a per-peer-timer baseline; see
+    ``rendezvous_scale.py``).
 
 Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--quick] [--only NAME]
 """
@@ -36,6 +39,7 @@ import gc
 import json
 import os
 import platform
+import subprocess
 import sys
 import tempfile
 import time
@@ -533,7 +537,31 @@ def emit_perf(ctx: BenchContext) -> dict:
     record["adversarial"] = ctx.get(
         "adversarial", lambda: bench_adversarial(quick=ctx.quick)
     )
+    record["rendezvous_scale"] = ctx.get(
+        "rendezvous_scale", lambda: bench_rendezvous_subprocess(quick=ctx.quick)
+    )
     return record
+
+
+def bench_rendezvous_subprocess(quick: bool = False) -> dict:
+    """Run the rendezvous scale bench in a fresh interpreter.
+
+    The workload is memory-layout sensitive: a million slotted registration
+    objects measured after the fleet and Monte-Carlo corpora have churned
+    this process's arenas read systematically slower than the same code on
+    a clean heap — which is how CI's ``rendezvous-scale`` job and the
+    standalone CLI run it.  Process isolation keeps the committed record
+    comparable to both, and keeps the 1M-peer churn from contaminating the
+    gated packet benches in this process.
+    """
+    script = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "rendezvous_scale.py"
+    )
+    cmd = [sys.executable, script]
+    if quick:
+        cmd.append("--quick")
+    result = subprocess.run(cmd, check=True, capture_output=True, text=True)
+    return json.loads(result.stdout)
 
 
 # -- driver ------------------------------------------------------------------
@@ -597,6 +625,17 @@ def main(argv=None) -> int:
                 rate=adv["attack_packets_per_second"],
                 devices=adv["robustness_devices"],
                 verdict="holds" if holds else "REGRESSED",
+            )
+        )
+        rdv = perf["rendezvous_scale"]
+        print(
+            "  rendezvous: {live:,} live registrations max; "
+            "{rate:,.0f} registrations/s, lookup p95 {p95:.2f}us, "
+            "x{speedup:.1f} vs per-peer timers".format(
+                live=rdv["max_live_registrations"],
+                rate=rdv["registrations_per_second"],
+                p95=rdv["lookup_p95_us"],
+                speedup=rdv["speedup_vs_timer_baseline"],
             )
         )
         mc = perf["monte_carlo"]

@@ -1,0 +1,52 @@
+"""CI smoke for the million-peer rendezvous plane (quick mode: 10k + 100k).
+
+Asserts the *shape* of the scale claims — batched sweeps cost O(window /
+granularity) scheduler events rather than O(peers), live keepalives are
+never swept, the plane drains to zero after the keepalives stop — and a
+deliberately conservative floor on the per-peer-timer speedup (the
+committed ``BENCH_perf.json`` records the real ratio; shared CI runners
+get headroom).  The full three-size run, including the 1M-peer row, is the
+``emit_bench.py`` refresh, not a per-PR test.
+"""
+
+import rendezvous_scale as rs
+
+#: The committed record shows ~13x; a noisy shared runner still clears 3x.
+SPEEDUP_FLOOR = 3.0
+
+
+def test_quick_scale_workload_invariants_and_speedup():
+    row = rs.run_scale_workload(rs.COMPARISON_SIZE)
+
+    # Every peer was live at once, every peer expired after shutdown.
+    assert row["live_peak"] == rs.COMPARISON_SIZE
+    assert row["evicted_ttl"] == rs.COMPARISON_SIZE
+
+    # The whole refresh window — six keepalive rounds for 100k peers —
+    # costs wheel ticks plus sweeps, not one scheduler event per peer.
+    assert row["refresh_scheduler_events"] < 1_000
+    assert row["scheduler_events"] < 1_000
+    assert row["sweeps"] > 0
+
+    # Lookups stay microsecond-scale with 100k live entries.
+    assert 0.0 < row["lookup_p95_us"] < 1_000.0
+
+    baseline = rs.run_timer_baseline(rs.COMPARISON_SIZE)
+    # The baseline really is the per-peer-timer design: every refresh and
+    # every expiry is its own scheduler event.
+    assert baseline["scheduler_events"] >= rs.COMPARISON_SIZE * (1 + rs.REFRESH_ROUNDS)
+
+    speedup = (
+        row["maintenance_ops_per_second"] / baseline["maintenance_ops_per_second"]
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"wheel plane only {speedup:.1f}x over per-peer timers "
+        f"(floor {SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_small_scale_lookup_percentiles_present():
+    row = rs.run_scale_workload(10_000, lookup_samples=500)
+    assert row["lookup_samples"] == 500
+    assert row["lookup_p50_us"] <= row["lookup_p95_us"]
+    assert row["registrations_per_second"] > 0

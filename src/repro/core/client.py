@@ -134,6 +134,7 @@ class PeerClient:
         self._udp_register_timer: Optional[Timer] = None
         self._udp_register_tries = 0
         self._server_keepalive_timer: Optional[Timer] = None
+        self._keepalive_wheel_entry = None
         self._pending_udp: Dict[int, tuple] = {}
         self.punchers: Dict[int, UdpHolePuncher] = {}
         self.sessions: Dict[int, UdpSession] = {}
@@ -172,6 +173,9 @@ class PeerClient:
         self.control_reconnects = 0
         self.reversal_dial_failures = 0
         self.stray_messages = 0
+        #: Shard redirects followed (sharded rendezvous pools re-home a
+        #: client whose id another server owns).
+        self.shard_redirects = 0
         #: The owning network's registry (set on the host by Network.add_node);
         #: standalone hosts get a private one so instrumentation never branches.
         self.metrics: MetricsRegistry = getattr(host, "metrics", None) or MetricsRegistry(
@@ -238,18 +242,34 @@ class PeerClient:
             retry_interval, self._udp_register_attempt, retry_interval, tries_left - 1
         )
 
-    def start_server_keepalives(self, interval: float = 15.0) -> None:
+    def start_server_keepalives(self, interval: float = 15.0, wheel=None) -> None:
         """Periodically refresh the registration's NAT mapping (§3.6).
 
         With a :class:`~repro.core.failover.ServerFailover` attached the
         manager drives the loop instead: its probes double as liveness
         checks, and unanswered ones trigger migration to the next server.
+
+        Pass a shared :class:`~repro.core.registry.KeepaliveWheel` as
+        *wheel* when many clients keep alive in one simulation: the wheel
+        batches every client due in the same tick under one scheduler timer
+        instead of one ``call_later`` loop per client (the default, kept for
+        small scenarios and byte-identical traces).
         """
         if self.failover is not None:
             self.failover.start(interval)
             return
         if self._server_keepalive_timer is not None:
             self._server_keepalive_timer.cancel()
+            self._server_keepalive_timer = None
+        if self._keepalive_wheel_entry is not None:
+            self._keepalive_wheel_entry.cancel()
+            self._keepalive_wheel_entry = None
+        if wheel is not None:
+            self._keepalive_wheel_entry = wheel.add(
+                interval,
+                lambda: self._send_server_udp(Keepalive(client_id=self.client_id)),
+            )
+            return
 
         def tick() -> None:
             self._send_server_udp(Keepalive(client_id=self.client_id))
@@ -263,6 +283,9 @@ class PeerClient:
         if self._server_keepalive_timer is not None:
             self._server_keepalive_timer.cancel()
             self._server_keepalive_timer = None
+        if self._keepalive_wheel_entry is not None:
+            self._keepalive_wheel_entry.cancel()
+            self._keepalive_wheel_entry = None
 
     def connect_udp(
         self,
@@ -361,6 +384,8 @@ class PeerClient:
             self._relay_send_failed(message, TRANSPORT_UDP)
         elif isinstance(message, protocol.TurnExchange):
             self._handle_turn_exchange(message)
+        elif isinstance(message, protocol.ShardRedirect):
+            self._handle_shard_redirect(message)
         elif isinstance(message, RendezvousError):
             self._udp_request_failed(message)
 
@@ -375,6 +400,26 @@ class PeerClient:
         if callback is not None:
             callback()
 
+    def _handle_shard_redirect(self, message: protocol.ShardRedirect) -> None:
+        """A sharded rendezvous pool re-homed us: follow the redirect.
+
+        Repoints ``self.server`` (every send path reads it live), keeps any
+        failover manager's index coherent, and re-registers so the owning
+        shard observes our public endpoint itself.  The pending
+        ``register_udp`` callback (if any) survives the re-registration.
+        """
+        if message.peer_id != self.client_id:
+            self.stray_messages += 1
+            return
+        if message.server == self.server and self.udp_registered:
+            return  # already home
+        self.shard_redirects += 1
+        self.metrics.counter("client.shard_redirects").inc()
+        self.server = message.server
+        if self.failover is not None:
+            self.failover.retarget(message.server)
+        self.register_udp(self._udp_register_cb)
+
     @property
     def behind_nat_udp(self) -> Optional[bool]:
         """True if S observed a different endpoint than we bound (§3.1)."""
@@ -387,6 +432,13 @@ class PeerClient:
         peer_id = message.peer_id
         if peer_id in self.punchers and not self.punchers[peer_id].finished:
             return  # already punching this peer
+        session = self.sessions.get(peer_id)
+        if session is not None and session.alive and session.nonce == message.nonce:
+            # Late duplicate of an exchange we already completed (S reuses
+            # the pairing nonce precisely so stragglers — e.g. a nudge's
+            # response arriving after lock-in, or the extra shard-to-shard
+            # hop in a sharded pool — don't restart a live punch).
+            return
         pending = self._pending_udp.pop(peer_id, None)
         if pending is not None:
             on_session, on_failure, config = pending

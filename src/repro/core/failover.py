@@ -134,6 +134,21 @@ class ServerFailover:
         self.client._send_server_udp(Keepalive(client_id=self.client.client_id))
         self._schedule_tick()
 
+    def retarget(self, endpoint: Endpoint) -> None:
+        """Re-point at *endpoint* without counting a migration.
+
+        Used when the server itself re-homes the client (a shard redirect,
+        see :class:`~repro.core.protocol.ShardRedirect`): probes must track
+        the server that actually holds the registration, and a later decay
+        there should migrate to *its* list neighbour.  Endpoints outside the
+        configured pool are appended — a ring can name servers the client
+        was never told about.
+        """
+        if endpoint not in self.servers:
+            self.servers.append(endpoint)
+        self.index = self.servers.index(endpoint)
+        self._misses = 0
+
     def note_ack(self) -> None:
         """A KeepaliveAck arrived from the current server."""
         if self._misses > 0:

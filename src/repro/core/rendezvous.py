@@ -36,12 +36,17 @@ from repro.core.protocol import (
     SeqConnect,
     SeqReady,
     SeqRequest,
+    ShardForward,
+    ShardForwardReply,
+    ShardRedirect,
     TurnExchange,
     TRANSPORT_TCP,
     TRANSPORT_UDP,
 )
+from repro.core.registry import RegistrationTable, RegistryConfig, ShardRing
 from repro.netsim.addresses import Endpoint
 from repro.netsim.node import Host
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.tcp import TcpConnection, TcpState
 from repro.util.errors import ProtocolError
 from repro.util.rng import SeededRng
@@ -105,6 +110,20 @@ class RendezvousServer:
         port: the well-known port (paper examples use 1234).
         obfuscate: set to protect endpoint fields against payload-mangling
             NATs (§5.3); clients must use the same setting.
+        registry_config: TTL/LRU eviction policy for the UDP registration
+            table (see :class:`~repro.core.registry.RegistryConfig`).  The
+            default is inert — no expiry, no bound, no sweep timer — so
+            small-scale scenarios behave exactly as before.  TCP
+            registrations are governed by their control connection's
+            lifetime and stay policy-free.
+        shard_ring: when this server is one shard of a pool, the shared
+            :class:`~repro.core.registry.ShardRing` (see
+            :func:`~repro.core.registry.attach_shard_ring`).  Requests for
+            peer ids owned elsewhere draw a :class:`ShardRedirect` (client
+            requests) or are forwarded shard-to-shard (connect requests).
+            Sharding covers the UDP plane; TCP control connections pin a
+            client to whichever server it dialled.
+        shard_index: this server's position on the ring.
     """
 
     def __init__(
@@ -113,6 +132,9 @@ class RendezvousServer:
         port: int = 1234,
         obfuscate: bool = False,
         rng: Optional[SeededRng] = None,
+        registry_config: Optional[RegistryConfig] = None,
+        shard_ring: Optional[ShardRing] = None,
+        shard_index: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -120,8 +142,24 @@ class RendezvousServer:
         self._rng = rng or SeededRng(0, f"rendezvous/{host.name}")
         stack = host.stack  # type: ignore[attr-defined]
         self.endpoint = Endpoint(host.primary_ip, port)
-        self.udp_clients: Dict[int, Registration] = {}
-        self.tcp_clients: Dict[int, Registration] = {}
+        #: The owning network's registry (set on the host by Network.add_node);
+        #: standalone hosts get a private one so instrumentation never branches.
+        self.metrics: MetricsRegistry = getattr(host, "metrics", None) or MetricsRegistry(
+            now_fn=lambda: host.scheduler.now
+        )
+        self.registry_config = registry_config or RegistryConfig()
+        cfg = self.registry_config
+        now_fn = lambda: self.host.scheduler.now  # noqa: E731 - tiny closure
+        self.udp_clients: RegistrationTable = RegistrationTable(
+            now_fn,
+            ttl=cfg.ttl,
+            max_entries=cfg.max_entries,
+            sweep_granularity=cfg.sweep_granularity,
+            metrics=self.metrics,
+        )
+        self.tcp_clients: RegistrationTable = RegistrationTable(now_fn, metrics=self.metrics)
+        self.shard_ring = shard_ring
+        self.shard_index = shard_index
         self._tcp_conns: Dict[int, _ControlConnection] = {}
         self._udp = stack.udp.socket(port)
         self._udp.on_datagram = self._on_udp
@@ -140,8 +178,14 @@ class RendezvousServer:
         self.restarts = 0
         self.endpoint_moves = 0
         self.adopted_registrations = 0
+        self.shard_redirects = 0
+        self.shard_forwards = 0
+        self._redirect_counter = self.metrics.bound_counter("rendezvous.shard.redirects")
+        self._forward_counter = self.metrics.bound_counter("rendezvous.shard.forwards")
         #: True while the server is killed (see :meth:`stop`).
         self.stopped = False
+        if cfg.ttl is not None:
+            self.udp_clients.start_sweeps(self.scheduler)
 
     @property
     def scheduler(self):
@@ -159,6 +203,7 @@ class RendezvousServer:
         if self.stopped:
             return
         self.stopped = True
+        self.udp_clients.stop_sweeps()
         self.udp_clients.clear()
         self.tcp_clients.clear()
         self._pair_nonces.clear()
@@ -167,6 +212,10 @@ class RendezvousServer:
             control.conn.abort()
         self._udp.close()
         self._listener.close()
+        if self.shard_ring is not None and self.shard_index is not None:
+            # Let surviving shards redirect our peers to the ring successor
+            # instead of pointing them at a dead server.
+            self.shard_ring.mark_down(self.shard_index)
 
     def start(self) -> None:
         """Revive a stopped server on the same well-known endpoint.
@@ -182,6 +231,10 @@ class RendezvousServer:
         self._udp = stack.udp.socket(self.port)
         self._udp.on_datagram = self._on_udp
         self._listener = stack.tcp.listen(self.port, on_accept=self._on_accept, reuse=True)
+        if self.registry_config.ttl is not None:
+            self.udp_clients.start_sweeps(self.scheduler)
+        if self.shard_ring is not None and self.shard_index is not None:
+            self.shard_ring.mark_up(self.shard_index)
 
     def restart(self) -> None:
         """Simulate a server crash/restart: all soft state is lost.
@@ -229,15 +282,23 @@ class RendezvousServer:
         the window where relayed payloads and connect requests would fail.
         Registrations the successor already holds (the client re-registered
         here first) are *not* overwritten — its own observation is fresher.
+        The import is a bulk O(n) insert with zero per-entry timer churn:
+        adopted entries join the successor's sweep wheel as plain bucket
+        appends (see :meth:`~repro.core.registry.RegistrationTable.adopt`).
         """
-        for cid, reg in registrations.items():
-            if cid not in self.udp_clients:
-                self.udp_clients[cid] = reg
-                self.adopted_registrations += 1
+        self.adopted_registrations += self.udp_clients.adopt(registrations)
 
     def handover_to(self, successor: "RendezvousServer") -> None:
-        """Push this server's registrations to *successor* (planned failover)."""
+        """Push this server's registrations to *successor* (planned failover).
+
+        Pair nonces ride along (without overwriting the successor's own):
+        an in-flight punch whose connect-request retransmits land on the
+        successor keeps authenticating against the same nonce instead of
+        restarting the exchange.
+        """
         successor.adopt_registrations(self.export_registrations())
+        for key, value in self._pair_nonces.items():
+            successor._pair_nonces.setdefault(key, value)
 
     # -- UDP side --------------------------------------------------------------
 
@@ -250,6 +311,8 @@ class RendezvousServer:
             return  # stray traffic
         now = self.scheduler.now
         if isinstance(message, Register):
+            if self._misrouted(message.client_id, src):
+                return
             self.udp_clients[message.client_id] = Registration(
                 client_id=message.client_id,
                 public_ep=src,
@@ -266,6 +329,8 @@ class RendezvousServer:
                 src,
             )
         elif isinstance(message, Keepalive):
+            if self._misrouted(message.client_id, src):
+                return
             reg = self.udp_clients.get(message.client_id)
             if reg is None:
                 # We don't know this client (e.g. our state was lost across a
@@ -278,6 +343,7 @@ class RendezvousServer:
             elif reg.public_ep == src:
                 reg.last_seen = now
                 reg.keepalives += 1
+                self.udp_clients.touch(message.client_id)
                 self._send_udp(KeepaliveAck(client_id=message.client_id), src)
             else:
                 # Same client, new observed endpoint: its NAT rebooted or the
@@ -288,17 +354,122 @@ class RendezvousServer:
                 reg.last_seen = now
                 reg.keepalives += 1
                 self.endpoint_moves += 1
+                self.udp_clients.touch(message.client_id)
                 self._send_udp(KeepaliveAck(client_id=message.client_id), src)
         elif isinstance(message, ConnectRequest):
             self._handle_connect(message, reply_to=src)
+        elif isinstance(message, ShardForward):
+            self._handle_shard_forward(message, reply_to=src)
+        elif isinstance(message, ShardForwardReply):
+            self._handle_shard_forward_reply(message)
         elif isinstance(message, RelayPayload):
             self._handle_relay(message, transport=TRANSPORT_UDP, reply_to=src)
         elif isinstance(message, TurnExchange):
-            target = self.udp_clients.get(message.target)
+            target = self.udp_clients.lookup(message.target)
             if target is not None:
                 self._send_to_client(target, message, TRANSPORT_UDP)
         elif isinstance(message, ReverseRequest):
             self._handle_reverse(message, reply_to=src)
+
+    # -- sharding ----------------------------------------------------------------
+
+    def _owns(self, peer_id: int) -> bool:
+        """Does the ring place *peer_id* on this shard (true when unsharded)?"""
+        if self.shard_ring is None or self.shard_index is None:
+            return True
+        return self.shard_ring.owner_index(peer_id) == self.shard_index
+
+    def _misrouted(self, peer_id: int, reply_to: Endpoint) -> bool:
+        """Redirect a client whose id another shard owns; True when redirected."""
+        if self._owns(peer_id):
+            return False
+        self.shard_redirects += 1
+        self._redirect_counter.inc()
+        self._send_udp(
+            ShardRedirect(peer_id=peer_id, server=self.shard_ring.owner(peer_id)),
+            reply_to,
+        )
+        return True
+
+    def _handle_shard_forward(self, forward: ShardForward, reply_to: Endpoint) -> None:
+        """Finish a cross-shard connect request as the target's owner.
+
+        We resolve the target locally, mint the pairing nonce, send the
+        *target's* PeerEndpoints copy ourselves (the target keepalives here,
+        so its NAT passes our datagrams), and return a
+        :class:`ShardForwardReply` to the requesting shard — which delivers
+        the requester's copy, for the mirror-image NAT-filter reason.
+        """
+        target = self.udp_clients.lookup(forward.target_id)
+        if target is None:
+            self._send_udp(
+                ShardForwardReply(
+                    requester_id=forward.requester_id,
+                    target_id=forward.target_id,
+                    target_public=Endpoint("0.0.0.0", 0),
+                    target_private=Endpoint("0.0.0.0", 0),
+                    nonce=0,
+                    transport=forward.transport,
+                    status=ShardForwardReply.STATUS_UNKNOWN_PEER,
+                ),
+                reply_to,
+            )
+            return
+        nonce = self._pair_nonce(forward.requester_id, forward.target_id, forward.transport)
+        self._send_to_client(
+            target,
+            PeerEndpoints(
+                peer_id=forward.requester_id,
+                public_ep=forward.requester_public,
+                private_ep=forward.requester_private,
+                nonce=nonce,
+                transport=forward.transport,
+                role=PeerEndpoints.ROLE_RESPONDER,
+            ),
+            forward.transport,
+        )
+        self._send_udp(
+            ShardForwardReply(
+                requester_id=forward.requester_id,
+                target_id=forward.target_id,
+                target_public=target.public_ep,
+                target_private=target.private_ep,
+                nonce=nonce,
+                transport=forward.transport,
+                status=ShardForwardReply.STATUS_OK,
+            ),
+            reply_to,
+        )
+
+    def _handle_shard_forward_reply(self, reply: ShardForwardReply) -> None:
+        """Deliver the requester's half of a cross-shard endpoint exchange.
+
+        The requester registered with (and keepalives toward) *this* shard,
+        so our datagrams pass its NAT filter.  A requester we no longer hold
+        (re-homed since the forward) is dropped silently — its connect
+        retransmit re-routes through the new home.
+        """
+        requester = self.udp_clients.get(reply.requester_id)
+        if requester is None:
+            return
+        if reply.status != ShardForwardReply.STATUS_OK:
+            self._error(
+                RendezvousError.UNKNOWN_PEER,
+                f"peer {reply.target_id} not registered",
+                reply_to=requester.public_ep,
+            )
+            return
+        self._send_udp(
+            PeerEndpoints(
+                peer_id=reply.target_id,
+                public_ep=reply.target_public,
+                private_ep=reply.target_private,
+                nonce=reply.nonce,
+                transport=reply.transport,
+                role=PeerEndpoints.ROLE_REQUESTER,
+            ),
+            requester.public_ep,
+        )
 
     # -- TCP side ---------------------------------------------------------------
 
@@ -371,9 +542,11 @@ class RendezvousServer:
         """§3.2 step 2: forward each peer's endpoints to the other."""
         self.connect_requests += 1
         transport = request.transport
+        if transport == TRANSPORT_UDP and control is None and reply_to is not None:
+            if self._misrouted(request.requester_id, reply_to):
+                return
         table = self.udp_clients if transport == TRANSPORT_UDP else self.tcp_clients
-        requester = table.get(request.requester_id)
-        target = table.get(request.target_id)
+        requester = table.lookup(request.requester_id)
         if requester is None:
             self._error(
                 RendezvousError.NOT_REGISTERED,
@@ -382,6 +555,29 @@ class RendezvousServer:
                 control,
             )
             return
+        if (
+            transport == TRANSPORT_UDP
+            and control is None
+            and not self._owns(request.target_id)
+        ):
+            # The target's registration lives on another shard: hand the
+            # exchange over with everything the owner needs (§3.2 step 2 runs
+            # there).  Retransmitted connect requests re-forward; the owner's
+            # stable pair nonce keeps them converging on one punch attempt.
+            self.shard_forwards += 1
+            self._forward_counter.inc()
+            self._send_udp(
+                ShardForward(
+                    requester_id=requester.client_id,
+                    requester_public=requester.public_ep,
+                    requester_private=requester.private_ep,
+                    target_id=request.target_id,
+                    transport=transport,
+                ),
+                self.shard_ring.owner(request.target_id),
+            )
+            return
+        target = table.lookup(request.target_id)
         if target is None:
             self._error(
                 RendezvousError.UNKNOWN_PEER,
@@ -451,7 +647,7 @@ class RendezvousServer:
         failure and the application can react.
         """
         table = self.udp_clients if transport == TRANSPORT_UDP else self.tcp_clients
-        target = table.get(message.target)
+        target = table.lookup(message.target)
         if target is None:
             self.relay_send_failures += 1
             error = RelayError(

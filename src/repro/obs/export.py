@@ -125,7 +125,18 @@ def summarize_values(values: Sequence[float], unit: str = "s") -> str:
 #: Counter prefixes surfaced by the compact per-section report summary.
 #: ``fleet.cache.`` carries the Table 1 dedup/persistence counters (hits,
 #: misses, invalidations) published by ``run_fleet(metrics=...)``.
-_REPORT_PREFIXES = ("punch.", "session.", "relay.", "nat.drops", "tcp.syn", "fleet.cache.")
+#: ``rendezvous.`` carries the registration-plane counters (lookup hits and
+#: misses, TTL/LRU evictions, shard redirects/forwards) from
+#: ``repro.core.registry``.
+_REPORT_PREFIXES = (
+    "punch.",
+    "session.",
+    "relay.",
+    "nat.drops",
+    "tcp.syn",
+    "fleet.cache.",
+    "rendezvous.",
+)
 
 
 def summarize_for_report(registry: MetricsRegistry) -> List[str]:

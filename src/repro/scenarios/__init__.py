@@ -6,6 +6,7 @@ from repro.scenarios.topologies import (
     build_multilevel,
     build_one_sided,
     build_public_pair,
+    build_sharded_pool,
     build_two_nats,
 )
 
@@ -15,5 +16,6 @@ __all__ = [
     "build_multilevel",
     "build_one_sided",
     "build_public_pair",
+    "build_sharded_pool",
     "build_two_nats",
 ]

@@ -1,0 +1,312 @@
+"""Unit tests for the sharded registration plane (repro.core.registry)."""
+
+import pytest
+
+from repro.core.registry import (
+    KeepaliveWheel,
+    RegistrationTable,
+    RegistryConfig,
+    ShardRing,
+    ShardedRegistry,
+    attach_shard_ring,
+    shard_of,
+)
+from repro.netsim.addresses import Endpoint
+from repro.netsim.clock import Scheduler
+from repro.obs.metrics import MetricsRegistry
+
+
+class Entry:
+    """Minimal registration stand-in: the table only needs ``last_seen``."""
+
+    def __init__(self, last_seen=0.0):
+        self.last_seen = last_seen
+
+    def __repr__(self):
+        return f"Entry(last_seen={self.last_seen})"
+
+
+def make_table(scheduler, **kwargs):
+    return RegistrationTable(lambda: scheduler.now, **kwargs)
+
+
+# -- plain mode (the drop-in dict) ------------------------------------------------
+
+
+def test_plain_table_is_dict_compatible_and_timer_free():
+    sched = Scheduler()
+    table = make_table(sched)
+    table[1] = Entry()
+    table[2] = Entry()
+    assert len(table) == 2
+    assert set(table) == {1, 2}
+    assert 1 in table and 3 not in table
+    assert table.get(3) is None
+    assert dict(table.items()).keys() == {1, 2}
+    del table[1]
+    assert set(table.keys()) == {2}
+    table.clear()
+    assert len(table) == 0
+    # The inert policy must add zero events to the simulation.
+    table.start_sweeps(sched)
+    assert sched.pending == 0
+    assert table.sweep() == []
+
+
+def test_plain_table_preserves_insertion_order_on_reregistration():
+    # The old dict kept a re-registered key in place; dict-identical behaviour
+    # matters for trace identity of existing scenarios.
+    sched = Scheduler()
+    table = make_table(sched)
+    table[1] = Entry()
+    table[2] = Entry()
+    table[1] = Entry()
+    assert list(table) == [1, 2]
+
+
+# -- TTL expiry via the sweep wheel ----------------------------------------------
+
+
+def test_ttl_expiry_with_sweep_timer():
+    sched = Scheduler()
+    evicted = []
+    table = make_table(
+        sched, ttl=10.0, sweep_granularity=5.0, on_evict=lambda e, r: evicted.append((e, r))
+    )
+    table.register(1, Entry(last_seen=sched.now))
+    table.start_sweeps(sched)
+    assert sched.pending == 1  # exactly one sweep timer, regardless of entries
+    sched.run_until(9.0)
+    assert 1 in table
+    sched.run_until(20.0)
+    assert 1 not in table
+    assert evicted == [(evicted[0][0], "ttl")]
+    assert table.evicted_ttl == 1
+
+
+def test_reregistration_resets_ttl():
+    sched = Scheduler()
+    table = make_table(sched, ttl=10.0, sweep_granularity=5.0)
+    table.register(1, Entry(last_seen=0.0))
+    sched.run_until(8.0)
+    table.register(1, Entry(last_seen=8.0))  # re-register: fresh deadline
+    table.start_sweeps(sched)
+    sched.run_until(15.0)  # past the original deadline
+    assert 1 in table
+    # Expires at 18 + at most one sweep granularity of wheel slack.
+    sched.run_until(25.0)
+    assert 1 not in table
+
+
+def test_keepalive_touch_defers_expiry_lazily():
+    sched = Scheduler()
+    table = make_table(sched, ttl=10.0, sweep_granularity=5.0)
+    entry = Entry(last_seen=0.0)
+    table.register(1, entry)
+    table.start_sweeps(sched)
+    for t in (6.0, 12.0, 18.0, 24.0):
+        sched.run_until(t)
+        entry.last_seen = sched.now  # what the server's keepalive handler does
+        table.touch(1)
+        assert 1 in table
+    # Stop refreshing: gone within ttl + one bucket of slack.
+    sched.run_until(24.0 + 10.0 + 5.0 + 0.1)
+    assert 1 not in table
+    assert table.sweeps > 0
+
+
+def test_sweep_batches_whole_buckets():
+    sched = Scheduler()
+    table = make_table(sched, ttl=10.0, sweep_granularity=5.0)
+    for cid in range(100):
+        table.register(cid, Entry(last_seen=0.0))
+    table.start_sweeps(sched)
+    assert sched.pending == 1
+    sched.run_until(16.0)
+    assert len(table) == 0
+    # All 100 expiries cost a handful of sweep events, not one event each.
+    assert table.sweeps <= 4
+    assert table.evicted_ttl == 100
+
+
+# -- LRU eviction ------------------------------------------------------------------
+
+
+def test_lru_eviction_drops_least_recently_refreshed():
+    sched = Scheduler()
+    evicted = []
+    table = make_table(sched, max_entries=3, on_evict=lambda e, r: evicted.append(r))
+    table.register(1, Entry())
+    table.register(2, Entry())
+    table.register(3, Entry())
+    table.touch(1)  # 1 is now most recent; 2 is the LRU
+    table.register(4, Entry())
+    assert set(table) == {1, 3, 4}
+    assert evicted == ["lru"]
+    assert table.evicted_lru == 1
+
+
+def test_churn_never_evicts_peers_with_live_keepalives():
+    sched = Scheduler()
+    table = make_table(sched, max_entries=50)
+    protected = list(range(10))
+    for cid in protected:
+        table.register(cid, Entry())
+    for wave in range(1, 20):
+        for cid in protected:
+            table.touch(cid)  # live keepalives
+        for i in range(10):
+            table.register(1000 + wave * 10 + i, Entry())  # churn
+        assert all(cid in table for cid in protected)
+    assert len(table) == 50
+
+
+# -- bulk adoption ----------------------------------------------------------------
+
+
+def test_adopt_is_bulk_and_timerless():
+    sched = Scheduler()
+    table = make_table(sched, ttl=30.0, sweep_granularity=5.0)
+    table.start_sweeps(sched)
+    table.register(7, Entry(last_seen=0.0))
+    pending_before = sched.pending
+    incoming = {cid: Entry(last_seen=1.0) for cid in range(1000)}
+    adopted = table.adopt(incoming)
+    assert adopted == 999  # id 7 already present, kept
+    assert table[7] is not incoming[7]
+    assert sched.pending == pending_before  # zero per-entry timer churn
+    assert len(table) == 1000
+
+
+# -- the shard ring ----------------------------------------------------------------
+
+
+def endpoints(n):
+    return [Endpoint(f"18.181.0.{31 + i}", 1234) for i in range(n)]
+
+
+def test_shard_ring_deterministic_placement():
+    ring = ShardRing(endpoints(4))
+    for peer_id in range(100):
+        home = shard_of(peer_id, 4)
+        assert ring.home_index(peer_id) == home
+        assert ring.owner_index(peer_id) == home
+        assert ring.owner(peer_id) == ring.endpoints[home]
+    assert ring.index_of(Endpoint("18.181.0.32", 1234)) == 1
+    assert ring.index_of(Endpoint("1.2.3.4", 9)) is None
+
+
+def test_shard_ring_probes_past_down_shards():
+    ring = ShardRing(endpoints(4))
+    victim = next(p for p in range(100) if ring.home_index(p) == 2)
+    ring.mark_down(2)
+    assert ring.owner_index(victim) == 3
+    ring.mark_down(3)
+    assert ring.owner_index(victim) == 0  # wraps
+    ring.mark_up(2)
+    assert ring.owner_index(victim) == 2
+    assert ring.alive_indices() == [0, 1, 2]
+
+
+def test_sharded_registry_places_touches_and_sweeps():
+    sched = Scheduler()
+    registry = ShardedRegistry(
+        lambda: sched.now,
+        endpoints(4),
+        RegistryConfig(ttl=10.0, sweep_granularity=5.0),
+    )
+    registry.start_sweeps(sched)
+    assert sched.pending == 4  # one sweep timer per shard
+    for cid in range(200):
+        registry.register(cid, Entry(last_seen=sched.now))
+    assert registry.live == 200
+    assert registry.lookup(5).last_seen == 0.0
+    sched.run_until(8.0)
+    for cid in range(0, 200, 2):
+        assert registry.touch(cid)
+    assert not registry.touch(9999)
+    sched.run_until(16.0)
+    assert registry.live == 100  # untouched half expired
+    sched.run_until(30.0)
+    assert registry.live == 0
+
+
+# -- keepalive wheel --------------------------------------------------------------
+
+
+def test_keepalive_wheel_batches_many_loops_into_few_timers():
+    sched = Scheduler()
+    wheel = KeepaliveWheel(sched, granularity=1.0)
+    fired = [0] * 200
+    def make(i):
+        return lambda: fired.__setitem__(i, fired[i] + 1)
+    for i in range(200):
+        wheel.add(10.0, make(i))
+    # 200 loops due at the same tick share one bucket => one pending timer.
+    assert sched.pending == 1
+    sched.run_until(35.0)
+    assert all(3 <= count <= 4 for count in fired)
+    # ~3 rounds of 200 callbacks cost tens of scheduler events, not 600.
+    assert sched.events_fired <= 10
+
+
+def test_keepalive_wheel_cancel():
+    sched = Scheduler()
+    wheel = KeepaliveWheel(sched, granularity=1.0)
+    fired = []
+    handle = wheel.add(5.0, lambda: fired.append(sched.now))
+    sched.run_until(7.0)
+    assert len(fired) == 1
+    handle.cancel()
+    sched.run_until(30.0)
+    assert len(fired) == 1
+
+
+# -- metrics -----------------------------------------------------------------------
+
+
+def test_registry_metrics_names():
+    sched = Scheduler()
+    metrics = MetricsRegistry(now_fn=lambda: sched.now)
+    table = make_table(sched, ttl=10.0, sweep_granularity=5.0, max_entries=2, metrics=metrics)
+    table.register(1, Entry(last_seen=0.0))
+    table.register(2, Entry(last_seen=0.0))
+    table.register(3, Entry(last_seen=0.0))  # LRU-evicts 1
+    assert table.lookup(2) is not None
+    assert table.lookup(99) is None
+    sched.run_until(16.0)
+    table.sweep()
+    counters = metrics.counters()
+    assert counters["rendezvous.lookup.hits"] == 1
+    assert counters["rendezvous.lookup.misses"] == 1
+    assert counters["rendezvous.evictions{reason=lru}"] == 1
+    assert counters["rendezvous.evictions{reason=ttl}"] == 2
+    hists = metrics.histograms()
+    assert hists["rendezvous.lookup.age"].count == 1
+    assert hists["rendezvous.sweep.batch_size"].count == 1
+
+
+def test_attach_shard_ring_wires_every_server():
+    class FakeServer:
+        def __init__(self, ip):
+            self.endpoint = Endpoint(ip, 1234)
+            self.shard_ring = None
+            self.shard_index = None
+
+    servers = [FakeServer(f"18.181.0.{31 + i}") for i in range(3)]
+    ring = attach_shard_ring(servers)
+    assert len(ring) == 3
+    for index, server in enumerate(servers):
+        assert server.shard_ring is ring
+        assert server.shard_index == index
+        assert ring.endpoints[index] == server.endpoint
+
+
+def test_config_validation():
+    sched = Scheduler()
+    with pytest.raises(ValueError):
+        RegistrationTable(lambda: sched.now, ttl=10.0, sweep_granularity=0.0)
+    with pytest.raises(ValueError):
+        ShardRing([])
+    with pytest.raises(ValueError):
+        KeepaliveWheel(sched, granularity=0.0)
