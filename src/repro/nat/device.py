@@ -24,6 +24,7 @@ from repro.netsim.packet import (
     IpProtocol,
     Packet,
     TcpFlags,
+    _pool_free,
     icmp_error_for,
     next_packet_id,
     tcp_packet,
@@ -48,6 +49,11 @@ class NatDevice(Router):
     """
 
     forwards_packets = True
+    #: Every path through :meth:`receive` either drops the packet or emits a
+    #: *fresh clone* (translation, forward, hairpin, ICMP rebuild) — the
+    #: delivered object itself is never stowed, so the drain loop may
+    #: recycle it into the packet pool after receive() returns.
+    consumes_packets = True
 
     def __init__(
         self,
@@ -73,6 +79,11 @@ class NatDevice(Router):
         self._rng = rng or SeededRng(0, f"nat/{name}")
         self._wan_name: Optional[str] = None
         self.table: Optional[NatTable] = None
+        #: Hot alias of ``table._by_public`` (set by :meth:`set_wan`): the
+        #: index is mutated in place — including across :meth:`reboot`,
+        #: which resets it with ``clear()`` — so the inbound per-packet
+        #: probe pays one attribute hop instead of two.
+        self._by_public: dict = {}
         self.lan_pool: Optional[AddressPool] = None
         self.translations_out = 0
         self.translations_in = 0
@@ -205,6 +216,7 @@ class NatDevice(Router):
             max_per_host=self.behavior.max_mappings_per_host,
             quota_eviction=self.behavior.quota_eviction,
         )
+        self._by_public = self.table._by_public
         return interface
 
     def add_lan(self, ip, network, link: Link, name: str = "lan0") -> Interface:
@@ -292,7 +304,7 @@ class NatDevice(Router):
             if proto is IpProtocol.ICMP:
                 self._inbound_icmp(packet)
                 return
-            mapping = self.table._by_public.get(proto.wire_index << 16 | dst.port)
+            mapping = self._by_public.get(proto.wire_index << 16 | dst.port)
             if mapping is None:
                 self.inbound_unmatched += 1
                 self._count_drop("no-mapping")
@@ -307,8 +319,7 @@ class NatDevice(Router):
             if self._filter_open:
                 permitted = True
             elif self._filter_by_port:
-                src = packet.src
-                last = mapping._remote_activity.get(src.ip._value * 65536 + src.port)
+                last = mapping._remote_activity.get(packet.src._key)
                 permitted = last is not None and (
                     not self._session_timers
                     or mapping.proto is not IpProtocol.UDP
@@ -350,15 +361,19 @@ class NatDevice(Router):
             if self._refresh_inbound:
                 now = self.scheduler._now
                 mapping.last_activity = now
-                src = packet.src
-                key = src.ip._value * 65536 + src.port
+                key = packet.src._key
                 activity = mapping._remote_activity
                 if key in activity:
                     activity[key] = now
             # Fused copy-and-rewrite, as in ``_translate_outbound``: the
             # clone's invariants hold by construction, so skip ``copy()`` +
-            # re-assignment.
-            translated = object.__new__(Packet)
+            # re-assignment (pool acquire first, as in ``Packet.copy``).
+            free = _pool_free
+            if free:
+                translated = free.pop()
+            else:
+                translated = object.__new__(Packet)
+                translated.gen = 0
             translated.proto = proto
             translated.src = packet.src
             translated.dst = mapping.private
@@ -373,10 +388,18 @@ class NatDevice(Router):
                 if mapping.closing_since is not None:
                     self.table.schedule_close(mapping, self.behavior.tcp_close_linger)
             self.translations_in += 1
-            # Forwarding-closure hit inlined, as in ``_translate_outbound``.
+            # Forwarding-closure hit inlined, as in ``_translate_outbound``;
+            # the per-mapping memo keeps steady sessions off the cache
+            # probes entirely (the inbound next hop is fixed — it is the
+            # mapping's private endpoint).
+            memo = mapping._fwd_in
+            if memo is not None and memo[0] == self.routing.version:
+                memo[1].transmit(translated, self, memo[2])
+                return
             if self._fwd_version == self.routing.version:
                 closure = self._fwd_cache.get(translated.dst.ip._value)
                 if closure is not None:
+                    mapping._fwd_in = (self.routing.version, closure[0], closure[1])
                     closure[0].transmit(translated, self, closure[1])
                     return
             self._emit(translated)
@@ -467,9 +490,9 @@ class NatDevice(Router):
             return
         src = packet.src
         dst = packet.dst
-        remote_key = dst.ip._value * 65536 + dst.port
+        remote_key = dst._key
         table = self.table
-        cache_key = (proto.wire_index, src.ip._value * 65536 + src.port, remote_key)
+        cache_key = (proto.wire_index, src._key, remote_key)
         if self._out_cache_version != table.version:
             self._out_cache.clear()
             self._out_cache_version = table.version
@@ -495,8 +518,14 @@ class NatDevice(Router):
         mapping._remote_activity[remote_key] = now
         mapping.last_activity = now
         mapping.packets_out += 1
-        # Packet.copy + the src/ttl rewrite, fused (one clone per packet).
-        translated = object.__new__(Packet)
+        # Packet.copy + the src/ttl rewrite, fused (one clone per packet;
+        # pool acquire first, as in ``Packet.copy``).
+        free = _pool_free
+        if free:
+            translated = free.pop()
+        else:
+            translated = object.__new__(Packet)
+            translated.gen = 0
         translated.proto = proto
         translated.src = mapping.public
         translated.dst = dst
@@ -519,10 +548,17 @@ class NatDevice(Router):
         self.translations_out += 1
         # ``Node._emit`` with the forwarding-closure hit hoisted inline; the
         # miss/invalidation path (and its no-route drop accounting) stays in
-        # ``_emit``.
+        # ``_emit``.  The per-mapping memo pins the dst object — one
+        # endpoint-independent mapping serves many remotes, each with its
+        # own next hop.
+        memo = mapping._fwd_out
+        if memo is not None and memo[0] is dst and memo[1] == self.routing.version:
+            memo[2].transmit(translated, self, memo[3])
+            return
         if self._fwd_version == self.routing.version:
             closure = self._fwd_cache.get(dst.ip._value)
             if closure is not None:
+                mapping._fwd_out = (dst, self.routing.version, closure[0], closure[1])
                 closure[0].transmit(translated, self, closure[1])
                 return
         self._emit(translated)

@@ -57,12 +57,12 @@ def mapping_key(
     remote: Endpoint,
 ) -> MappingKey:
     """Build the table key for *policy* (§5.1)."""
-    private_key = private.ip._value * 65536 + private.port
+    private_key = private._key
     if policy is MappingPolicy.ENDPOINT_INDEPENDENT:
         return (proto.wire_index, private_key, None)
     if policy is MappingPolicy.ADDRESS_DEPENDENT:
         return (proto.wire_index, private_key, remote.ip._value | _ADDR_QUALIFIER_TAG)
-    return (proto.wire_index, private_key, remote.ip._value * 65536 + remote.port)
+    return (proto.wire_index, private_key, remote._key)
 
 
 def _last_activity(mapping: "NatMapping") -> float:
@@ -105,6 +105,14 @@ class NatMapping:
         self.last_ack_out: Optional[int] = None
         self.packets_out = 0
         self.packets_in = 0
+        #: Per-mapping forwarding memos, filled by the translate hot paths:
+        #: inbound is (routing-version, link, next-hop) — the next hop is
+        #: fixed, it's the mapping's private endpoint; outbound additionally
+        #: pins the destination object, (dst, routing-version, link,
+        #: next-hop), because one endpoint-independent mapping serves many
+        #: remotes.  A routing change bumps the version and misses.
+        self._fwd_in: Optional[tuple] = None
+        self._fwd_out: Optional[tuple] = None
 
     @property
     def remotes(self) -> Set[Endpoint]:
@@ -128,7 +136,7 @@ class NatMapping:
         """
         activity = self._remote_activity
         if by_port:
-            last = activity.get(remote.ip._value * 65536 + remote.port)
+            last = activity.get(remote._key)
             if last is None:
                 return False
             return now is None or session_timeout is None or now - last <= session_timeout
@@ -141,7 +149,7 @@ class NatMapping:
         return False
 
     def note_outbound(self, remote: Endpoint, now: float) -> None:
-        self._remote_activity[remote.ip._value * 65536 + remote.port] = now
+        self._remote_activity[remote._key] = now
         self.last_activity = now
         self.packets_out += 1
 
@@ -150,7 +158,7 @@ class NatMapping:
         if refresh:
             self.last_activity = now
             if remote is not None:
-                key = remote.ip._value * 65536 + remote.port
+                key = remote._key
                 activity = self._remote_activity
                 if key in activity:
                     activity[key] = now

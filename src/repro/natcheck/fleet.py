@@ -23,6 +23,7 @@ the paper by that same margin; EXPERIMENTS.md discusses it.
 
 from __future__ import annotations
 
+import itertools
 import math
 import os
 from dataclasses import asdict, dataclass, field
@@ -817,4 +818,132 @@ def run_monte_carlo(
         "space_size": MONTE_CARLO_SPACE,
         "distinct_designs": len(designs),
         "columns": {name: column.to_dict() for name, column in columns.items()},
+    }
+
+
+#: Punch-technique columns every Monte-Carlo survey reports, mapped to the
+#: :class:`~repro.natcheck.classify.NatCheckReport` field holding the outcome.
+MONTE_CARLO_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("udp", "udp_punch_ok"),
+    ("udp_hairpin", "udp_hairpin"),
+    ("tcp", "tcp_punch_ok"),
+    ("tcp_hairpin", "tcp_hairpin"),
+)
+
+
+def _option_key(option: object) -> str:
+    """JSON-safe string key for one axis option (enum value, bool, or the
+    tcp_mapping ``None`` sentinel, which means "inherit the UDP policy")."""
+    if option is None:
+        return "inherit"
+    if isinstance(option, bool):
+        return "true" if option else "false"
+    value = getattr(option, "value", option)
+    return str(value)
+
+
+def run_monte_carlo_stratified(
+    samples: int = 1_000_000,
+    seed: int = 0,
+    config: Optional[NatCheckConfig] = None,
+    strata_limit: Optional[int] = None,
+) -> Dict[str, object]:
+    """Stratified Monte-Carlo survey with per-axis sensitivity reports.
+
+    Where :func:`run_monte_carlo` draws designs uniformly — so rare corners
+    of the space may be missed entirely at small sample counts — this sweep
+    treats every cell of the :data:`MONTE_CARLO_AXES` cross product
+    (:data:`MONTE_CARLO_SPACE` cells) as a stratum: each cell receives
+    ``samples // cells`` draws, and the remainder is spread over distinct
+    cells chosen by the seeded stream ``SeededRng(seed, "monte-carlo/
+    strata")``.  Every populated cell is simulated at most once (cells that
+    alias to the same behavioral fingerprint — e.g. ``tcp_mapping=None``
+    against the explicit same policy — share one simulation), so a
+    million-sample survey costs at most :data:`MONTE_CARLO_SPACE`
+    ``check_device`` runs; the sample count only sharpens the weights.
+
+    Besides the overall per-technique columns, the record carries a
+    ``sensitivity`` table: per axis, per option, the weighted success rate
+    and 95% Wilson CI of each technique over all strata holding that option
+    fixed — i.e. how much each behavioral axis moves hole-punch success.
+
+    Args:
+        samples: total draws to allocate across strata.
+        seed: stream seed (also mixed into each design's simulation seed).
+        config: probe plan; defaults to the full protocol (hairpin + TCP).
+        strata_limit: cap the sweep to the first N cells in axis product
+            order — the CI smoke knob; None sweeps the full space.
+    """
+    if samples < 1:
+        raise ValueError(f"samples must be >= 1, got {samples}")
+    if strata_limit is not None and strata_limit < 1:
+        raise ValueError(f"strata_limit must be >= 1, got {strata_limit}")
+    if config is None:
+        config = NatCheckConfig(
+            run_udp_hairpin=True, run_tcp=True, run_tcp_hairpin=True
+        )
+    axis_names = tuple(MONTE_CARLO_AXES)
+    cells = list(itertools.product(*MONTE_CARLO_AXES.values()))
+    if strata_limit is not None:
+        cells = cells[:strata_limit]
+    allocation = [samples // len(cells)] * len(cells)
+    remainder = samples - allocation[0] * len(cells)
+    if remainder:
+        rng = SeededRng(seed, "monte-carlo/strata")
+        for index in rng.sample(range(len(cells)), remainder):
+            allocation[index] += 1
+
+    columns = {name: MonteCarloColumn() for name, _ in MONTE_CARLO_COLUMNS}
+    sensitivity: Dict[str, Dict[str, Dict[str, MonteCarloColumn]]] = {
+        axis: {
+            _option_key(option): {
+                name: MonteCarloColumn() for name, _ in MONTE_CARLO_COLUMNS
+            }
+            for option in options
+        }
+        for axis, options in MONTE_CARLO_AXES.items()
+    }
+    reports: Dict[str, NatCheckReport] = {}
+    simulations = 0
+    populated = 0
+    for assignment, weight in zip(cells, allocation):
+        if weight == 0:
+            continue
+        populated += 1
+        behavior = NatBehavior(**dict(zip(axis_names, assignment)))
+        fingerprint = device_fingerprint(behavior, config, seed)
+        report = reports.get(fingerprint.full)
+        if report is None:
+            report = check_device(behavior, config, seed=fingerprint.seed)
+            reports[fingerprint.full] = report
+            simulations += 1
+        outcomes = [
+            (name, getattr(report, field_name))
+            for name, field_name in MONTE_CARLO_COLUMNS
+        ]
+        for name, outcome in outcomes:
+            columns[name].add(outcome, weight)
+        for axis, option in zip(axis_names, assignment):
+            bucket = sensitivity[axis][_option_key(option)]
+            for name, outcome in outcomes:
+                bucket[name].add(outcome, weight)
+
+    return {
+        "samples": samples,
+        "seed": seed,
+        "space_size": MONTE_CARLO_SPACE,
+        "strata": len(cells),
+        "strata_populated": populated,
+        "strata_limit": strata_limit,
+        "distinct_designs": simulations,
+        "columns": {name: column.to_dict() for name, column in columns.items()},
+        "sensitivity": {
+            axis: {
+                option: {
+                    name: column.to_dict() for name, column in buckets.items()
+                }
+                for option, buckets in options.items()
+            }
+            for axis, options in sensitivity.items()
+        },
     }

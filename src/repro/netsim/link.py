@@ -141,11 +141,29 @@ class Link:
         #: Pending coalesced-delivery timers (fast path only; see
         #: Scheduler.call_later_batched), insertion-ordered so flap/detach
         #: drops replay in schedule order.  Items are (sender, receiver,
-        #: packet) triples; a detached entry is nulled in place.
+        #: packet, dispatch-entry) 4-tuples; a detached entry is nulled in
+        #: place.
         self._batches: Dict[int, Timer] = {}
+        #: Direct-dispatch memo: ``dst._key * 4 + proto.wire_index`` ->
+        #: ``(deliver, delivery_version, consuming, receiver, nh_value)``.
+        #: *deliver* is the callable the drain loop invokes instead of the
+        #: ``receiver.receive`` trampoline (None = always slow path, e.g.
+        #: forwarding receivers); *delivery_version* is the receiver's
+        #: :attr:`Node._delivery_version` at resolve time (None = never
+        #: stale) and is re-checked both at transmit and at fire, so a stack
+        #: detach or socket close between the two falls back to the slow
+        #: path; *nh_value* is the raw next-hop IP the receiver was resolved
+        #: from, so a transmit hit skips the owner-index probe.  Cleared
+        #: whenever the attachment set changes — receiver identity per
+        #: next-hop is part of what the entry memoises.
+        self._dispatch: Dict[int, tuple] = {}
         self._open_batch: Optional[Timer] = None
+        #: Scheduler tick at which ``_open_batch`` was created.  While the
+        #: batch stays open the latency is constant (``_refresh_fast_path``
+        #: closes it on any profile change), so ``_open_tick == now`` is
+        #: equivalent to the full ``batch.when == now + latency`` compare.
+        self._open_tick = -1.0
         self._batch_ids = itertools.count()
-        self.packets_sent = 0
         self.packets_dropped = 0
         self.queue_drops = 0
         self.flap_drops = 0
@@ -172,6 +190,17 @@ class Link:
         self._refresh_fast_path()
         if trace is not None:
             trace.subscribe(self._refresh_fast_path)
+
+    @property
+    def packets_sent(self) -> int:
+        """Total packets placed on the wire.
+
+        Derived from the per-protocol counters — every wire path bumps
+        exactly one per-proto handle, so the transmit hot path pays one
+        counter write instead of two and this read-rare total sums at
+        snapshot time.
+        """
+        return sum(counter.value for counter in self._sent_by_index)
 
     # -- statistical fast path ---------------------------------------------------
 
@@ -216,6 +245,10 @@ class Link:
             )
         )
         self._fast_latency = p.latency
+        # Close any open coalescing batch: the tick-equality append check in
+        # ``transmit`` assumes the latency has not changed since the batch
+        # was created, and every latency-changing event funnels through here.
+        self._open_batch = None
 
     @property
     def sent_by_proto(self) -> Dict[IpProtocol, int]:
@@ -235,6 +268,7 @@ class Link:
         self._attachments.append((node, address))
         self._owner_index[address] = node
         self._owner_values[address._value] = node
+        self._dispatch.clear()
 
     def detach(self, node: "Node") -> None:
         """Remove every attachment belonging to *node*.
@@ -246,6 +280,7 @@ class Link:
         self._attachments = [(n, ip) for n, ip in self._attachments if n is not node]
         self._owner_index = {ip: n for n, ip in self._attachments}
         self._owner_values = {ip._value: n for n, ip in self._attachments}
+        self._dispatch.clear()
         for seq, (timer, sender, receiver, packet) in list(self._in_flight.items()):
             if receiver is node:
                 timer.cancel()
@@ -332,14 +367,31 @@ class Link:
             # no-op, so this block only does the work that observably
             # happens — counter bumps and a coalesced delivery timer.
             try:
-                receiver = self._owner_values.get(next_hop_ip._value)
+                nh_value = next_hop_ip._value
             except AttributeError:  # next hop given as str/int/bytes
-                receiver = self._owner_index.get(IPv4Address(next_hop_ip))
-            if receiver is None or receiver is sender:
-                self.packets_dropped += 1
-                return False
+                nh_value = IPv4Address(next_hop_ip)._value
             proto = packet.proto
-            self.packets_sent += 1
+            # Resolve (or validate) the direct-dispatch entry for this flow.
+            # The entry memoises both the next-hop owner and the local
+            # delivery target, so a hit skips the owner-index probe here and
+            # the full demux at fire time; a next-hop mismatch (two next
+            # hops sharing a dst key on one segment) or a stale delivery
+            # version re-resolves.
+            entry = self._dispatch.get(packet.dst._key * 4 + proto.wire_index)
+            if entry is None or entry[4] != nh_value:
+                receiver = self._owner_values.get(nh_value)
+                if receiver is None or receiver is sender:
+                    self.packets_dropped += 1
+                    return False
+                entry = self._resolve_dispatch(packet.dst, proto, receiver, nh_value)
+            else:
+                receiver = entry[3]
+                if receiver is sender:
+                    self.packets_dropped += 1
+                    return False
+                version = entry[1]
+                if version is not None and version != receiver._delivery_version:
+                    entry = self._resolve_dispatch(packet.dst, proto, receiver, nh_value)
             self.bytes_sent += proto.header_bytes + len(packet.payload)
             self._sent_by_index[proto.wire_index].value += 1
             scheduler = self.scheduler
@@ -348,12 +400,12 @@ class Link:
                 batch is not None
                 and batch._bseq == scheduler._seq
                 and not batch._fired
-                and batch.when == scheduler._now + self._fast_latency
+                and self._open_tick == scheduler._now
             ):
                 # No timer was created since the batch's own, so this
                 # delivery would have drawn the very next sequence number at
                 # the same deadline — appending preserves fire order exactly.
-                batch._items.append((sender, receiver, packet))
+                batch._items.append((sender, receiver, packet, entry))
             else:
                 batches = self._batches
                 # Batches drain in creation order (constant latency), so
@@ -369,13 +421,14 @@ class Link:
                     self._fast_latency, self._fire_delivery
                 )
                 batch._bseq = scheduler._seq
-                # Items are (sender, receiver, packet) wire deliveries and
-                # _fire_delivery does nothing else — let run_until's drain
-                # loop dispatch receiver.receive directly.
+                # Items are (sender, receiver, packet, entry) wire deliveries
+                # and _fire_delivery does nothing else — let run_until's
+                # drain loop dispatch into the receiver directly.
                 batch._unpack = True
-                batch._items.append((sender, receiver, packet))
+                batch._items.append((sender, receiver, packet, entry))
                 batches[next(self._batch_ids)] = batch
                 self._open_batch = batch
+                self._open_tick = scheduler._now
             return True
         if not self._up:
             self.packets_dropped += 1
@@ -447,16 +500,49 @@ class Link:
             self.packets_reordered += 1
         if dup:
             self.duplicates_delivered += 1
-        self.packets_sent += 1
         self.bytes_sent += packet.size
         self._sent_handles[packet.proto].inc()
         self._record(packet, sender, receiver, "duplicated" if dup else "sent")
         self._schedule_delivery(packet, sender, receiver, delay)
         return True
 
+    def _resolve_dispatch(
+        self, dst, proto: IpProtocol, receiver: "Node", nh_value: int
+    ) -> tuple:
+        """Build and memoise the direct-dispatch entry for (dst, proto) via
+        *receiver* — see the ``_dispatch`` attribute docs for the layout.
+
+        Forwarding receivers (routers, NATs) get a permanent slow-path entry
+        (``version`` None: ``forwards_packets`` is a class property, so the
+        answer can never go stale); host receivers resolve through
+        :meth:`Node.resolve_dispatch` and are pinned to the host's current
+        delivery version.  *nh_value* — the raw next-hop IP the entry was
+        resolved against — rides in slot 4 so a transmit hit can reuse the
+        memoised receiver without re-probing the owner index.
+        """
+        if receiver.forwards_packets:
+            entry = (None, None, False, receiver, nh_value)
+        elif dst.ip._value not in receiver._local_ips:
+            # Not locally addressed (the host will drop it): slow path, but
+            # re-resolved if the host grows an interface.
+            entry = (None, receiver._delivery_version, False, receiver, nh_value)
+        else:
+            deliver, consuming = receiver.resolve_dispatch(proto, dst)
+            entry = (
+                deliver,
+                receiver._delivery_version,
+                consuming,
+                receiver,
+                nh_value,
+            )
+        self._dispatch[dst._key * 4 + proto.wire_index] = entry
+        return entry
+
     def _fire_delivery(self, item) -> None:
         """Deliver one coalesced-batch item (the scheduler fires one item per
-        event; a nulled item was detach-dropped while in flight)."""
+        event; a nulled item was detach-dropped while in flight).  Always the
+        receive() trampoline — step()-driven runs take this route and must
+        stay observably identical to the drain loop's direct dispatch."""
         if item is not None:
             item[1].receive(item[2], self)
 

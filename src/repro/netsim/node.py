@@ -35,6 +35,12 @@ class Node:
     """Base class: interfaces + routing table + send/receive machinery."""
 
     forwards_packets = False
+    #: True when this node's :meth:`receive` provably never retains the
+    #: delivered packet object (it re-emits a fresh clone or drops) — the
+    #: licence for the drain loop to recycle fast-path deliveries into the
+    #: packet pool.  NAT devices set it; hosts must not (application
+    #: handlers may stow packets).
+    consumes_packets = False
     #: The owning network's MetricsRegistry, set by ``Network.add_node`` so
     #: protocol layers above can reach it; None for standalone nodes.
     metrics = None
@@ -62,6 +68,17 @@ class Node:
         #: ``IpProtocol.wire_index`` — the hot mirror of
         #: ``_protocol_handlers`` (same objects, cheaper probe).
         self._handlers_by_index: List = [None] * len(IpProtocol)
+        #: Optional per-protocol dispatch resolvers (see
+        #: :meth:`resolve_dispatch`); transport stacks install one to bind
+        #: drain-loop deliveries straight onto their sockets.
+        self._dispatch_resolvers: List = [None] * len(IpProtocol)
+        #: Local-delivery epoch.  Every cached direct-dispatch entry (see
+        #: ``Link._dispatch``) records the version it was resolved under and
+        #: is dead the moment they differ, so anything that can change where
+        #: a locally-addressed packet lands — handler (un)registration,
+        #: stack attach/detach, socket bind/close, a new interface — must
+        #: bump this.
+        self._delivery_version = 0
         #: Arrival-link -> interface (first interface wins, matching the
         #: historical scan order); NAT devices classify every received
         #: packet by arrival interface.
@@ -84,6 +101,7 @@ class Node:
         self._iface_by_link.setdefault(link, interface)
         link.attach(self, interface.ip)
         self.routing.add(interface.network, name, next_hop=None)
+        self._delivery_version += 1
         return interface
 
     def interface_for(self, ip) -> Optional[Interface]:
@@ -105,14 +123,54 @@ class Node:
 
     # -- protocol handlers ---------------------------------------------------
 
-    def register_protocol(self, proto: IpProtocol, handler: Callable[[Packet], None]) -> None:
+    def register_protocol(
+        self,
+        proto: IpProtocol,
+        handler: Callable[[Packet], None],
+        resolver: Optional[Callable] = None,
+    ) -> None:
         """Register the local delivery handler for one transport protocol.
 
         Transport stacks call this once at attach time; re-registration
         replaces the handler (used by tests to interpose observers).
+
+        *resolver*, if given, is ``resolver(dst) -> (deliver, consuming)``:
+        a finer-grained dispatch hook the drain loop uses to deliver
+        straight into the destination socket (see :meth:`resolve_dispatch`).
         """
         self._protocol_handlers[proto] = handler
         self._handlers_by_index[proto.wire_index] = handler
+        self._dispatch_resolvers[proto.wire_index] = resolver
+        self._delivery_version += 1
+
+    def unregister_protocol(self, proto: IpProtocol) -> None:
+        """Remove the handler (and resolver) for *proto*; packets for it now
+        drop on the local-delivery path, exactly as if it was never bound."""
+        self._protocol_handlers.pop(proto, None)
+        self._handlers_by_index[proto.wire_index] = None
+        self._dispatch_resolvers[proto.wire_index] = None
+        self._delivery_version += 1
+
+    def resolve_dispatch(self, proto: IpProtocol, dst) -> tuple:
+        """Resolve the direct-dispatch target for local (proto, dst) traffic.
+
+        Returns ``(deliver, consuming)``: *deliver* is the callable the
+        drain loop invokes instead of :meth:`receive` (None forces the slow
+        path), and *consuming* is True only when the delivery provably does
+        not retain the packet object, licensing pool recycling.  Entries
+        derived from this answer are validated against
+        :attr:`_delivery_version` on every use, so a stale binding can never
+        deliver — it falls back to :meth:`receive`.
+        """
+        resolver = self._dispatch_resolvers[proto.wire_index]
+        if resolver is not None:
+            return resolver(dst)
+        handler = self._handlers_by_index[proto.wire_index]
+        if handler is None:
+            return None, False
+        # Generic handler: saves the receive() trampoline but never recycles
+        # (the handler may legitimately stow the packet).
+        return handler, False
 
     # -- data path -----------------------------------------------------------
 

@@ -39,9 +39,31 @@ class HostStack:
             rst_seq_validation=rst_seq_validation,
             icmp_validation=icmp_validation,
         )
-        host.register_protocol(IpProtocol.UDP, self.udp.handle_packet)
+        # UDP registers a dispatch resolver so the scheduler's drain loop can
+        # deliver straight into the bound socket; TCP and ICMP use the
+        # generic handler binding (still one frame shorter than receive()).
+        host.register_protocol(
+            IpProtocol.UDP, self.udp.handle_packet, resolver=self.udp.resolve_dispatch
+        )
         host.register_protocol(IpProtocol.TCP, self.tcp.handle_packet)
         host.register_protocol(IpProtocol.ICMP, self._handle_icmp)
+
+    def detach(self) -> None:
+        """Unregister this stack's protocol handlers from the host.
+
+        Locally-addressed packets drop afterwards, exactly as on a host that
+        never attached a stack; the delivery-version bumps inside
+        ``unregister_protocol`` invalidate every direct-dispatch entry bound
+        to this stack, so in-flight fast-path deliveries fall back to the
+        slow path (and its drop accounting) rather than landing in a
+        detached stack.
+        """
+        host = self.host
+        host.unregister_protocol(IpProtocol.UDP)
+        host.unregister_protocol(IpProtocol.TCP)
+        host.unregister_protocol(IpProtocol.ICMP)
+        if getattr(host, "stack", None) is self:
+            host.stack = None  # type: ignore[attr-defined]
 
     def _handle_icmp(self, packet: Packet) -> None:
         error = packet.icmp

@@ -21,6 +21,7 @@ from repro.netsim.packet import (
     IcmpError,
     IpProtocol,
     Packet,
+    _pool_free,
     next_packet_id,
 )
 from repro.util.errors import BindError
@@ -58,6 +59,12 @@ class UdpSocket:
         self.on_icmp_error: Optional[ErrorHandler] = None
         self.datagrams_sent = 0
         self.datagrams_received = 0
+        #: One-slot forwarding memo: (dest-endpoint, routing-version, link,
+        #: next-hop) for the last destination this socket routed to.  Hit by
+        #: identity on the dest object (steady senders reuse one Endpoint);
+        #: any routing change — including a new local interface, which adds
+        #: a connected route — bumps the version and misses the memo.
+        self._fwd_memo: Optional[tuple] = None
 
     def sendto(self, payload: bytes, dest: Endpoint) -> bool:
         """Send one datagram; returns False if it could not be routed."""
@@ -67,8 +74,16 @@ class UdpSocket:
         stack = self._stack
         stack.datagrams_sent += 1
         # ``udp_packet``, inlined: sendto is the per-datagram hot path and
-        # the UDP invariants (no tcp/icmp body) hold by construction.
-        packet = object.__new__(Packet)
+        # the UDP invariants (no tcp/icmp body) hold by construction.  The
+        # packet comes from the pool's free list when one is waiting (every
+        # field below is reassigned; ``gen`` deliberately isn't — it stamps
+        # recycling, not identity).
+        free = _pool_free
+        if free:
+            packet = free.pop()
+        else:
+            packet = object.__new__(Packet)
+            packet.gen = 0
         packet.proto = IpProtocol.UDP
         packet.src = self.local
         packet.dst = dest
@@ -78,7 +93,29 @@ class UdpSocket:
         packet.ttl = DEFAULT_TTL
         packet.packet_id = next_packet_id()
         packet.flow = None
-        return stack.host.send(packet)
+        # ``Node.send`` with the forwarding-closure hit inlined (one frame
+        # per datagram); loopback, cache misses, and routing-version skew
+        # fall back to the full send path.  The socket-local one-slot memo
+        # keeps steady flows (same dest object, unchanged routing) off the
+        # per-datagram cache probes entirely.
+        host = stack.host
+        memo = self._fwd_memo
+        if (
+            memo is not None
+            and memo[0] is dest
+            and memo[1] == host.routing.version
+        ):
+            return memo[2].transmit(packet, host, memo[3])
+        dst_value = dest.ip._value
+        if (
+            host._fwd_version == host.routing.version
+            and dst_value not in host._local_ips
+        ):
+            closure = host._fwd_cache.get(dst_value)
+            if closure is not None:
+                self._fwd_memo = (dest, host.routing.version, closure[0], closure[1])
+                return closure[0].transmit(packet, host, closure[1])
+        return host.send(packet)
 
     def close(self) -> None:
         """Release the port binding; idempotent."""
@@ -93,6 +130,21 @@ class UdpSocket:
         if self.on_datagram is not None:
             self.on_datagram(packet.payload, packet.src)
 
+    def _deliver_direct(self, packet: Packet) -> None:
+        """Drain-loop dispatch target (see :meth:`UdpStack.resolve_dispatch`).
+
+        Identical to the tail of :meth:`UdpStack.handle_packet` — the node's
+        ``packets_received`` bump happens in the drain loop itself.  This
+        delivery is *consuming*: the callback gets (payload, src), both
+        immutable shared objects it may retain freely, and the packet object
+        is never exposed — the licence for the pool to recycle it.
+        """
+        self.datagrams_received += 1
+        self._stack.datagrams_received += 1
+        callback = self.on_datagram
+        if callback is not None:
+            callback(packet.payload, packet.src)
+
     def __repr__(self) -> str:
         star = "*" if self._wildcard else ""
         return f"UdpSocket({star}{self.local})"
@@ -104,6 +156,13 @@ class UdpStack:
     def __init__(self, host: Host) -> None:
         self.host = host
         self._bindings: Dict[_BindKey, UdpSocket] = {}
+        #: Hot mirrors of ``_bindings`` for the per-datagram demux: exact
+        #: binds keyed by the folded ``Endpoint._key`` int, wildcard binds
+        #: by bare port.  Rebuilt (with a host delivery-version bump) on
+        #: every bind/close, so direct-dispatch entries resolved against an
+        #: old socket set can never fire.
+        self._by_key: Dict[int, UdpSocket] = {}
+        self._by_port: Dict[int, UdpSocket] = {}
         self._next_ephemeral = EPHEMERAL_BASE
         self.packets_dropped = 0
         #: Stack-wide totals (per-socket counts live on the sockets, which
@@ -130,6 +189,11 @@ class UdpStack:
         source_ip = bind_ip if bind_ip is not None else self.host.primary_ip
         sock = UdpSocket(self, Endpoint(source_ip, port), wildcard=bind_ip is None)
         self._bindings[key] = sock
+        if bind_ip is not None:
+            self._by_key[bind_ip._value * 65536 + port] = sock
+        else:
+            self._by_port[port] = sock
+        self.host._delivery_version += 1
         return sock
 
     def _allocate_ephemeral(self, bind_ip) -> int:
@@ -145,6 +209,21 @@ class UdpStack:
 
     def _release(self, sock: UdpSocket) -> None:
         self._bindings = {k: s for k, s in self._bindings.items() if s is not sock}
+        self._by_key = {k: s for k, s in self._by_key.items() if s is not sock}
+        self._by_port = {k: s for k, s in self._by_port.items() if s is not sock}
+        self.host._delivery_version += 1
+
+    def resolve_dispatch(self, dst: Endpoint) -> tuple:
+        """Direct-dispatch resolver (see :meth:`Node.resolve_dispatch`):
+        bind drain-loop deliveries for *dst* straight onto the owning
+        socket's :meth:`UdpSocket._deliver_direct`.  Consuming — UDP
+        delivery exposes only (payload, src), never the packet object."""
+        sock = self._by_key.get(dst._key)
+        if sock is None or sock.closed:
+            sock = self._by_port.get(dst.port)
+            if sock is None or sock.closed:
+                return None, False
+        return sock._deliver_direct, True
 
     def handle_packet(self, packet: Packet) -> None:
         """Demultiplex one inbound UDP packet to a bound socket.
@@ -154,10 +233,9 @@ class UdpStack:
         on the NAT echo path.
         """
         dst = packet.dst
-        bindings = self._bindings
-        sock = bindings.get((dst.ip._value, dst.port))
+        sock = self._by_key.get(dst._key)
         if sock is None or sock.closed:
-            sock = bindings.get((None, dst.port))
+            sock = self._by_port.get(dst.port)
             if sock is None or sock.closed:
                 self.packets_dropped += 1
                 return

@@ -14,6 +14,10 @@ event.  This suite pins that property three ways:
   capture window opens while the fast path is engaged — the trace
   subscription must flip the gate and the captured records must match a
   run that never used the fast path at all.
+
+The packet pool (:data:`repro.netsim.packet.PACKET_POOL`) is held to the
+same standard along a second axis: every scenario above must also be
+byte-identical with recycling on versus off (``TestPoolingIdentity``).
 """
 
 import contextlib
@@ -26,6 +30,7 @@ from repro.nat.device import NatDevice
 from repro.netsim.addresses import Endpoint
 from repro.netsim.link import LAN_LINK, Link, LinkProfile
 from repro.netsim.network import Network
+from repro.netsim.packet import PACKET_POOL
 from repro.obs.attribution import render_verdict
 from repro.obs.flight_export import to_jsonl
 from repro.transport.stack import attach_stack
@@ -39,6 +44,22 @@ def _fast_path(enabled: bool):
         yield
     finally:
         Link.fast_path_enabled = prior
+
+
+@contextlib.contextmanager
+def _pool(enabled: bool):
+    prior = PACKET_POOL.enabled
+    if enabled:
+        PACKET_POOL.enable()
+    else:
+        PACKET_POOL.disable()
+    try:
+        yield
+    finally:
+        if prior:
+            PACKET_POOL.enable()
+        else:
+            PACKET_POOL.disable()
 
 
 def _build_echo(seed: int = 1):
@@ -154,6 +175,48 @@ class TestEchoWorkloadIdentity:
         with _fast_path(False):
             slow = self._run()
         assert fast == slow
+
+
+class TestPoolingIdentity:
+    """Packet recycling must be observably inert, like the fast path itself.
+
+    ``disable()`` empties the free list, collapsing acquire to plain
+    allocation; packet ids come off the global counter either way, so the
+    pooled and unpooled runs must agree on every observable.
+    """
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_explain_timeline_identical_pooled_or_not(self, name):
+        def run(pooled):
+            with _pool(pooled):
+                recorder, verdicts = explain_scenario(name, seed=7)
+            return to_jsonl(recorder), [render_verdict(v) for v in verdicts]
+
+        pooled_jsonl, pooled_verdicts = run(True)
+        plain_jsonl, plain_verdicts = run(False)
+        assert pooled_verdicts == plain_verdicts
+        assert pooled_jsonl == plain_jsonl  # byte-identical timeline
+
+    def test_echo_observables_identical_pooled_or_not(self):
+        with _pool(True):
+            pooled = TestEchoWorkloadIdentity._run()
+        with _pool(False):
+            plain = TestEchoWorkloadIdentity._run()
+        assert pooled == plain
+
+    def test_pooled_echo_recycles_even_under_poison(self):
+        # Non-vacuousness witness for the identity above: the pooled echo
+        # run really does recycle, and stays correct with poison mode
+        # arming every recycled carcass to explode on stale access.
+        prior = PACKET_POOL.debug_poison
+        PACKET_POOL.debug_poison = True
+        try:
+            with _pool(True):
+                before = PACKET_POOL.released
+                TestEchoWorkloadIdentity._run()
+                assert PACKET_POOL.released > before
+        finally:
+            PACKET_POOL.debug_poison = prior
 
 
 class TestMidRunTraceIdentity:

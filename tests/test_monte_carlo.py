@@ -9,10 +9,14 @@ confidence intervals.
 
 import math
 
+import pytest
+
 from repro.natcheck.fleet import (
     MONTE_CARLO_AXES,
+    MONTE_CARLO_COLUMNS,
     MONTE_CARLO_SPACE,
     run_monte_carlo,
+    run_monte_carlo_stratified,
     sample_behavior,
     wilson_interval,
 )
@@ -75,3 +79,69 @@ class TestRunMonteCarlo:
         for column in result["columns"].values():
             assert 0 <= column["trials"] <= 40
             assert 0.0 <= column["rate"] <= 1.0
+
+
+class TestRunMonteCarloStratified:
+    """The million-sample survey: every axis cell is a stratum, simulations
+    are fingerprint-dedup'd, and the sample count only sharpens weights."""
+
+    def test_full_space_million_samples_costs_bounded_simulations(self):
+        result = run_monte_carlo_stratified(samples=1_000_000, seed=42)
+        assert result["samples"] == 1_000_000
+        assert result["strata"] == MONTE_CARLO_SPACE
+        assert result["strata_populated"] == MONTE_CARLO_SPACE
+        # Dedup bound: a million draws never cost more than one simulation
+        # per cell (aliasing fingerprints share even fewer).
+        assert result["distinct_designs"] <= MONTE_CARLO_SPACE
+        udp = result["columns"]["udp"]
+        assert udp["trials"] == 1_000_000
+        assert udp["ci95"][0] <= udp["rate"] <= udp["ci95"][1]
+
+    def test_deterministic_for_a_seed(self):
+        first = run_monte_carlo_stratified(samples=2000, seed=9, strata_limit=24)
+        second = run_monte_carlo_stratified(samples=2000, seed=9, strata_limit=24)
+        assert first == second
+
+    def test_strata_limit_caps_the_sweep(self):
+        result = run_monte_carlo_stratified(samples=480, seed=1, strata_limit=24)
+        assert result["strata"] == 24
+        assert result["strata_limit"] == 24
+        assert result["strata_populated"] == 24
+        assert result["distinct_designs"] <= 24
+        assert result["columns"]["udp"]["trials"] == 480
+
+    def test_remainder_spreads_over_distinct_cells(self):
+        # 100 samples over 24 strata: 4 each plus a 4-sample remainder that
+        # must land on distinct cells — total weight is exactly preserved.
+        result = run_monte_carlo_stratified(samples=100, seed=7, strata_limit=24)
+        assert result["strata_populated"] == 24
+        assert result["columns"]["udp"]["trials"] == 100
+
+    def test_fewer_samples_than_cells_populates_a_subset(self):
+        result = run_monte_carlo_stratified(samples=5, seed=3, strata_limit=24)
+        assert result["strata_populated"] == 5
+        assert result["columns"]["udp"]["trials"] == 5
+
+    def test_sensitivity_partitions_every_axis(self):
+        result = run_monte_carlo_stratified(samples=5760, seed=11)
+        sensitivity = result["sensitivity"]
+        assert set(sensitivity) == set(MONTE_CARLO_AXES)
+        for axis, options in MONTE_CARLO_AXES.items():
+            buckets = sensitivity[axis]
+            assert len(buckets) == len(options)
+            for name, _field in MONTE_CARLO_COLUMNS:
+                # Holding one axis fixed partitions the draws: the option
+                # buckets of each axis sum back to the total sample count.
+                assert (
+                    sum(bucket[name]["trials"] for bucket in buckets.values())
+                    == 5760
+                )
+                for bucket in buckets.values():
+                    cell = bucket[name]
+                    assert cell["ci95"][0] <= cell["rate"] <= cell["ci95"][1]
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_monte_carlo_stratified(samples=0)
+        with pytest.raises(ValueError):
+            run_monte_carlo_stratified(samples=10, strata_limit=0)
